@@ -1,0 +1,135 @@
+//! Criterion benches of the framework's *own* (wall-clock) costs: code
+//! generation, PTX parse + lower (the "driver JIT"), cache operations, the
+//! interpreter, and one CG iteration end-to-end. These complement the
+//! figure harnesses (which report simulated device time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qdp_core::prelude::*;
+use qdp_core::{adj, shift};
+use qdp_jit::KernelCache;
+use qdp_types::su3::random_su3;
+use qdp_types::{PScalar, PVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn setup_ctx(l: usize) -> Arc<QdpContext> {
+    QdpContext::k20x(Geometry::symmetric(l))
+}
+
+fn fields(
+    ctx: &Arc<QdpContext>,
+    seed: u64,
+) -> (LatticeColorMatrix<f64>, LatticeFermion<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = LatticeColorMatrix::<f64>::from_fn(ctx, |_| PScalar(random_su3(&mut rng)));
+    let psi = LatticeFermion::<f64>::from_fn(ctx, |_| {
+        PVector::from_fn(|_| PVector::from_fn(|_| qdp_types::su3::gaussian_complex(&mut rng)))
+    });
+    (u, psi)
+}
+
+/// Code generation: AST walk → PTX text for a dslash-class expression.
+fn bench_codegen(c: &mut Criterion) {
+    let ctx = setup_ctx(4);
+    let (u, psi) = fields(&ctx, 1);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    c.bench_function("eval_derivative_expr_4x4", |b| {
+        let mut mu = 0usize;
+        b.iter(|| {
+            mu = (mu + 1) % 4;
+            let e = u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            out.assign(e).unwrap()
+        });
+    });
+}
+
+/// Driver JIT: PTX text → parsed module → register machine (cold cache).
+fn bench_jit_translate(c: &mut Criterion) {
+    let text = {
+        let mut b = qdp_ptx::module::KernelBuilder::new("bench_kernel");
+        let pn = b.param("n", qdp_ptx::types::PtxType::U32);
+        let tid = b.global_tid();
+        let n = b.ld_param(&pn, qdp_ptx::types::PtxType::U32);
+        let exit = b.guard(tid, n);
+        let mut acc = b.mov(
+            qdp_ptx::types::PtxType::F64,
+            qdp_ptx::inst::Operand::ImmF(0.0),
+        );
+        for i in 0..400 {
+            acc = b.fma(
+                qdp_ptx::types::PtxType::F64,
+                acc.into(),
+                qdp_ptx::inst::Operand::ImmF(1.0 + i as f64),
+                acc.into(),
+            );
+        }
+        b.bind_label(&exit);
+        qdp_ptx::emit::emit_module(&qdp_ptx::module::Module::with_kernel(b.finish()))
+    };
+    c.bench_function("jit_parse_and_lower_400_inst", |b| {
+        b.iter_batched(
+            KernelCache::new,
+            |cache| cache.get_or_compile(&text).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Interpreter throughput: one payload launch of `upsi` on 16⁴ sites.
+fn bench_interpreter(c: &mut Criterion) {
+    let ctx = setup_ctx(16);
+    let (u, psi) = fields(&ctx, 3);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    out.assign(u.q() * psi.q()).unwrap(); // compile + settle the tuner
+    c.bench_function("interpreter_upsi_16x4", |b| {
+        b.iter(|| out.assign(u.q() * psi.q()).unwrap());
+    });
+}
+
+/// Memory-cache page-out + page-in cycle.
+fn bench_cache_ops(c: &mut Criterion) {
+    let ctx = setup_ctx(8);
+    let (u, _) = fields(&ctx, 4);
+    c.bench_function("cache_pageout_pagein_cycle", |b| {
+        b.iter(|| {
+            // host access pages out; assure pages back in
+            let _ = u.get(0);
+            ctx.cache().assure_on_device(&[u.id()]).unwrap()
+        });
+    });
+}
+
+/// Two full CG iterations (dslash×4 + linalg + reductions) on 4⁴.
+fn bench_cg_iteration(c: &mut Criterion) {
+    let ctx = setup_ctx(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = chroma_mini::gauge::GaugeField::warm(&ctx, &mut rng, 0.25);
+    let m = chroma_mini::fermion::WilsonDirac::new(&g, 0.3, None);
+    let b_rhs = chroma_mini::gauge::gaussian_fermion(&ctx, &mut rng);
+    let x = LatticeFermion::<f64>::new(&ctx);
+    c.bench_function("cg_2_iterations_4x4", |bch| {
+        bch.iter(|| chroma_mini::solver::cg_solve(&m, &x, &b_rhs, 1e-30, 2).unwrap());
+    });
+}
+
+/// Reduction (norm2) end to end.
+fn bench_reduction(c: &mut Criterion) {
+    let ctx = setup_ctx(8);
+    let (_, psi) = fields(&ctx, 6);
+    c.bench_function("norm2_8x4", |b| {
+        b.iter(|| psi.norm2().unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codegen,
+    bench_jit_translate,
+    bench_interpreter,
+    bench_cache_ops,
+    bench_cg_iteration,
+    bench_reduction
+);
+criterion_main!(benches);

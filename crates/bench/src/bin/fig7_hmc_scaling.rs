@@ -1,0 +1,58 @@
+//! Figure 7: strong scaling of the HMC trajectory on Blue Waters,
+//! V = 40³×256, 2+1 anisotropic clover, m_π ≈ 230 MeV, τ = 0.2 — the three
+//! software configurations of the paper, replayed through the machine
+//! model (see DESIGN.md's substitution table).
+//!
+//! Paper bands: CPU+QUDA ≈2.2× @128 → ≈1.8× @800; QDP-JIT+QUDA ≈11× @128 →
+//! ≈3.7× @800 (and ≈2.0× over CPU+QUDA @800); resource cost at 128 nodes
+//! reduced ≈5× (258 vs 52 node-hours).
+//!
+//! Run: `cargo run --release -p qdp-bench --bin fig7_hmc_scaling`
+
+use chroma_mini::trace::TrajectorySpec;
+use qdp_bench::hmc_model::{scaling_curve, Config};
+
+fn main() {
+    let spec = TrajectorySpec::production_40x256();
+    let nodes = [128usize, 256, 400, 512, 800, 1600];
+
+    println!("Figure 7 — HMC strong scaling, V = 40^3 x 256 (trajectory seconds)");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>10} {:>10}",
+        "nodes", "CPU only", "CPU+QUDA", "QDP-JIT+QUDA", "s(CPU+Q)", "s(JIT+Q)"
+    );
+    let cpu = scaling_curve(Config::CpuOnly, &nodes, &spec, false);
+    let cq = scaling_curve(Config::CpuQuda, &nodes, &spec, false);
+    let jit = scaling_curve(Config::QdpJitQuda, &nodes, &spec, false);
+    for i in 0..nodes.len() {
+        println!(
+            "{:>6} {:>16.0} {:>16.0} {:>16.0} {:>9.1}x {:>9.1}x",
+            nodes[i],
+            cpu[i].time,
+            cq[i].time,
+            jit[i].time,
+            cpu[i].time / cq[i].time,
+            cpu[i].time / jit[i].time,
+        );
+    }
+    println!();
+    println!("paper: speedup(CPU+QUDA) ~2.2x @128 -> ~1.8x @800");
+    println!("paper: speedup(QDP-JIT+QUDA) ~11x @128 -> ~3.7x @800");
+    let s800 = cq[4].time / jit[4].time;
+    println!(
+        "QDP-JIT+QUDA vs CPU+QUDA @800: {:.1}x (paper ~2.0x)",
+        s800
+    );
+
+    // §VIII-D resource cost: node-hours for one trajectory at the most
+    // efficient partition (128 XK nodes)
+    let nh_cq = 128.0 * cq[0].time / 3600.0;
+    let nh_jit = 128.0 * jit[0].time / 3600.0;
+    println!();
+    println!(
+        "integrated resource cost @128 nodes: {:.0} vs {:.0} node-hours => {:.1}x reduction (paper: 258 vs 52, ~5x)",
+        nh_cq,
+        nh_jit,
+        nh_cq / nh_jit
+    );
+}

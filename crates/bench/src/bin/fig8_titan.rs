@@ -1,0 +1,31 @@
+//! Figure 8: Blue Waters vs Titan — the strong scaling of the
+//! "QDP-JIT+QUDA" configuration on both machines. The paper finds the
+//! results "hardly distinguishable".
+//!
+//! Run: `cargo run --release -p qdp-bench --bin fig8_titan`
+
+use chroma_mini::trace::TrajectorySpec;
+use qdp_bench::hmc_model::{scaling_curve, Config};
+
+fn main() {
+    let spec = TrajectorySpec::production_40x256();
+    let nodes = [128usize, 256, 400, 512, 800];
+
+    println!("Figure 8 — QDP-JIT+QUDA trajectory time (s): Blue Waters vs Titan");
+    println!("{:>6} {:>14} {:>12} {:>8}", "GPUs", "Blue Waters", "Titan", "diff");
+    let bw = scaling_curve(Config::QdpJitQuda, &nodes, &spec, false);
+    let ti = scaling_curve(Config::QdpJitQuda, &nodes, &spec, true);
+    let mut worst: f64 = 0.0;
+    for (a, b) in bw.iter().zip(ti.iter()) {
+        let rel = 100.0 * (b.time - a.time) / a.time;
+        worst = worst.max(rel.abs());
+        println!(
+            "{:>6} {:>14.0} {:>12.0} {:>7.1}%",
+            a.nodes, a.time, b.time, rel
+        );
+    }
+    println!();
+    println!(
+        "largest relative difference: {worst:.1}% — \"hardly distinguishable\" (paper)"
+    );
+}

@@ -1,0 +1,11 @@
+//! # qdp-bench — harnesses regenerating every table and figure
+//!
+//! One module per experiment class; the `src/bin/*` binaries print the
+//! paper's rows/series. See DESIGN.md's experiment index and EXPERIMENTS.md
+//! for the recorded outputs.
+
+pub mod hmc_model;
+pub mod kernels;
+
+pub use hmc_model::{trajectory_time, Config, ScalingRow};
+pub use kernels::{bench_kernel, TestFunction};

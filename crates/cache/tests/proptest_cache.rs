@@ -1,0 +1,100 @@
+//! Property test: under arbitrary interleavings of kernel-side and
+//! host-side accesses, with a device too small for the working set, the
+//! cache never loses data — every field always reads back what was last
+//! written to it, wherever its current copy lives.
+
+use proptest::prelude::*;
+use qdp_cache::MemoryCache;
+use qdp_gpu_sim::{Device, DeviceConfig};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Simulate a kernel writing `value` to field `f` (page in + device write).
+    KernelWrite(u8, u8),
+    /// Simulate a kernel reading fields `(a, b)` (page in, verify contents).
+    KernelRead(u8, u8),
+    /// Host write of `value` to field `f`.
+    HostWrite(u8, u8),
+    /// Host read of field `f` (verify contents).
+    HostRead(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(f, v)| Op::KernelWrite(f, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::KernelRead(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(f, v)| Op::HostWrite(f, v)),
+        any::<u8>().prop_map(Op::HostRead),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_data_loss_under_pressure(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        const N_FIELDS: usize = 8;
+        const FIELD_BYTES: usize = 700;
+        // fits ~3 fields (with 256-byte alignment padding)
+        let device = Arc::new(Device::new(DeviceConfig::tiny(3 * 1024)));
+        let cache = MemoryCache::new(Arc::clone(&device));
+        let ids: Vec<u64> = (0..N_FIELDS).map(|_| cache.register(FIELD_BYTES)).collect();
+        // ground truth: the last value written to each field
+        let mut truth = [0u8; N_FIELDS];
+
+        for op in &ops {
+            match op {
+                Op::KernelWrite(f, v) => {
+                    let f = *f as usize % N_FIELDS;
+                    let ptrs = match cache.assure_on_device(&[ids[f]]) {
+                        Ok(p) => p,
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    };
+                    // kernel writes the value across the field
+                    let buf = vec![*v; FIELD_BYTES];
+                    device.memory().copy_from_host(ptrs[0], &buf);
+                    cache.mark_device_dirty(ids[f]).unwrap();
+                    truth[f] = *v;
+                }
+                Op::KernelRead(a, b) => {
+                    let a = *a as usize % N_FIELDS;
+                    let b = *b as usize % N_FIELDS;
+                    if a == b {
+                        continue;
+                    }
+                    let ptrs = cache.assure_on_device(&[ids[a], ids[b]]).unwrap();
+                    for (k, &fidx) in [a, b].iter().enumerate() {
+                        let mut buf = vec![0u8; FIELD_BYTES];
+                        device.memory().copy_to_host(ptrs[k], &mut buf);
+                        prop_assert!(
+                            buf.iter().all(|&x| x == truth[fidx]),
+                            "kernel read of field {} saw wrong data", fidx
+                        );
+                    }
+                }
+                Op::HostWrite(f, v) => {
+                    let f = *f as usize % N_FIELDS;
+                    cache
+                        .with_host_mut(ids[f], |h| h.fill(*v))
+                        .unwrap();
+                    truth[f] = *v;
+                }
+                Op::HostRead(f) => {
+                    let f = *f as usize % N_FIELDS;
+                    let ok = cache
+                        .with_host(ids[f], |h| h.iter().all(|&x| x == truth[f]))
+                        .unwrap();
+                    prop_assert!(ok, "host read of field {} saw wrong data", f);
+                }
+            }
+        }
+        // final sweep: every field must still hold its truth value
+        for (f, id) in ids.iter().enumerate() {
+            let ok = cache.with_host(*id, |h| h.iter().all(|&x| x == truth[f])).unwrap();
+            prop_assert!(ok, "final state of field {} corrupted", f);
+        }
+        // invariant: device never over-allocated
+        prop_assert!(device.memory().peak() <= device.memory().capacity());
+    }
+}

@@ -1,0 +1,371 @@
+//! Krylov solvers on the (simulated) device: CG on the normal equations,
+//! BiCGStab on `M` directly, and multi-shift CG for the RHMC rational
+//! kernels. Every vector operation is a data-parallel expression — CG's
+//! axpy kernels are generated once and reused for every iteration (the
+//! scalar α, β are kernel *parameters*).
+
+use crate::fermion::WilsonDirac;
+use qdp_core::prelude::*;
+use qdp_core::reduce_inner_product;
+
+/// Solver outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgReport {
+    /// Iterations used.
+    pub iters: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub rel_resid: f64,
+    /// Did the solver hit the tolerance?
+    pub converged: bool,
+}
+
+/// Conjugate gradient on the normal equations: solves `M†M x = b`.
+pub fn cg_solve(
+    m: &WilsonDirac,
+    x: &LatticeFermion<f64>,
+    b: &LatticeFermion<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> Result<CgReport, CoreError> {
+    let ctx = m.context();
+    let r = LatticeFermion::<f64>::new(ctx);
+    let p = LatticeFermion::<f64>::new(ctx);
+    let ap = LatticeFermion::<f64>::new(ctx);
+    let tmp = LatticeFermion::<f64>::new(ctx);
+
+    // r = b − A x ; p = r
+    m.apply_normal(&ap, &tmp, x)?;
+    r.assign(b.q() - ap.q())?;
+    p.assign(r.q())?;
+
+    let b2 = b.norm2()?;
+    if b2 == 0.0 {
+        x.assign(0.0 * b.q())?;
+        return Ok(CgReport {
+            iters: 0,
+            rel_resid: 0.0,
+            converged: true,
+        });
+    }
+    let mut r2 = r.norm2()?;
+    let target = tol * tol * b2;
+
+    let mut iters = 0;
+    while r2 > target && iters < max_iters {
+        m.apply_normal(&ap, &tmp, &p)?;
+        let pap = reduce_inner_product(ctx, &p.q(), &ap.q(), Subset::All)?.re;
+        let alpha = r2 / pap;
+        x.assign(x.q() + alpha * p.q())?;
+        r.assign(r.q() - alpha * ap.q())?;
+        let r2_new = r.norm2()?;
+        let beta = r2_new / r2;
+        p.assign(r.q() + beta * p.q())?;
+        r2 = r2_new;
+        iters += 1;
+    }
+    Ok(CgReport {
+        iters,
+        rel_resid: (r2 / b2).sqrt(),
+        converged: r2 <= target,
+    })
+}
+
+/// BiCGStab on `M x = b` directly (non-Hermitian).
+pub fn bicgstab_solve(
+    m: &WilsonDirac,
+    x: &LatticeFermion<f64>,
+    b: &LatticeFermion<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> Result<CgReport, CoreError> {
+    let ctx = m.context();
+    let r = LatticeFermion::<f64>::new(ctx);
+    let r0 = LatticeFermion::<f64>::new(ctx);
+    let p = LatticeFermion::<f64>::new(ctx);
+    let v = LatticeFermion::<f64>::new(ctx);
+    let s = LatticeFermion::<f64>::new(ctx);
+    let t = LatticeFermion::<f64>::new(ctx);
+
+    m.apply(&v, x)?;
+    r.assign(b.q() - v.q())?;
+    r0.assign(r.q())?;
+    p.assign(r.q())?;
+
+    let b2 = b.norm2()?;
+    if b2 == 0.0 {
+        x.assign(0.0 * b.q())?;
+        return Ok(CgReport {
+            iters: 0,
+            rel_resid: 0.0,
+            converged: true,
+        });
+    }
+    let target = tol * tol * b2;
+    let mut rho = reduce_inner_product(ctx, &r0.q(), &r.q(), Subset::All)?;
+    let mut iters = 0;
+    let mut r2 = r.norm2()?;
+    while r2 > target && iters < max_iters {
+        m.apply(&v, &p)?;
+        let r0v = reduce_inner_product(ctx, &r0.q(), &v.q(), Subset::All)?;
+        let alpha = rho / r0v;
+        s.assign(r.q() - cscale(alpha, v.q()))?;
+        m.apply(&t, &s)?;
+        let ts = reduce_inner_product(ctx, &t.q(), &s.q(), Subset::All)?;
+        let tt = t.norm2()?;
+        let omega = ts.scale(1.0 / tt);
+        x.assign(x.q() + cscale(alpha, p.q()) + cscale(omega, s.q()))?;
+        r.assign(s.q() - cscale(omega, t.q()))?;
+        let rho_new = reduce_inner_product(ctx, &r0.q(), &r.q(), Subset::All)?;
+        let beta = (rho_new / rho) * (alpha / omega);
+        p.assign(r.q() + cscale(beta, p.q() - cscale(omega, v.q())))?;
+        rho = rho_new;
+        r2 = r.norm2()?;
+        iters += 1;
+    }
+    Ok(CgReport {
+        iters,
+        rel_resid: (r2 / b2).sqrt(),
+        converged: r2 <= target,
+    })
+}
+
+/// Multi-shift CG: solves `(M†M + σ_k) x_k = b` for all shifts at once
+/// (the workhorse of the RHMC rational kernels, paper §VIII-D "rational
+/// approximation").
+pub fn multishift_cg(
+    m: &WilsonDirac,
+    shifts: &[f64],
+    xs: &[LatticeFermion<f64>],
+    b: &LatticeFermion<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> Result<CgReport, CoreError> {
+    assert_eq!(shifts.len(), xs.len());
+    assert!(!shifts.is_empty());
+    let ctx = m.context();
+    let n = shifts.len();
+
+    // Shift everything relative to the smallest shift for stability.
+    let base = shifts
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let _ = base;
+
+    let r = LatticeFermion::<f64>::new(ctx);
+    let p = LatticeFermion::<f64>::new(ctx);
+    let ap = LatticeFermion::<f64>::new(ctx);
+    let tmp = LatticeFermion::<f64>::new(ctx);
+    let ps: Vec<LatticeFermion<f64>> = (0..n).map(|_| LatticeFermion::new(ctx)).collect();
+
+    r.assign(b.q())?;
+    p.assign(b.q())?;
+    for (x, pk) in xs.iter().zip(ps.iter()) {
+        x.assign(0.0 * b.q())?;
+        pk.assign(b.q())?;
+    }
+
+    let b2 = b.norm2()?;
+    if b2 == 0.0 {
+        return Ok(CgReport {
+            iters: 0,
+            rel_resid: 0.0,
+            converged: true,
+        });
+    }
+    let target = tol * tol * b2;
+
+    // standard multi-shift CG recurrences (Jegerlehner)
+    let mut zeta_prev = vec![1.0f64; n];
+    let mut zeta = vec![1.0f64; n];
+    let mut beta_k = vec![0.0f64; n];
+    let mut alpha_prev = 1.0f64;
+    let mut beta_prev = 0.0f64;
+
+    let mut r2 = r.norm2()?;
+    let mut iters = 0;
+    while r2 > target && iters < max_iters {
+        m.apply_normal(&ap, &tmp, &p)?;
+        // seed system uses shift 0 (the smallest is handled via zetas)
+        let pap = reduce_inner_product(ctx, &p.q(), &ap.q(), Subset::All)?.re;
+        let alpha = r2 / pap;
+
+        // shifted coefficient updates
+        let mut zeta_next = vec![0.0f64; n];
+        for k in 0..n {
+            // Jegerlehner recurrence:
+            // ζ_{n+1} = ζ_n ζ_{n-1} α_{n-1} /
+            //   ( α_n β_{n-1} (ζ_{n-1} − ζ_n) + ζ_{n-1} α_{n-1} (1 + σ α_n) )
+            let denom = alpha * beta_prev * (zeta_prev[k] - zeta[k])
+                + zeta_prev[k] * alpha_prev * (1.0 + shifts[k] * alpha);
+            // guard: converged shifted systems freeze
+            zeta_next[k] = if denom.abs() < 1e-300 {
+                0.0
+            } else {
+                zeta[k] * zeta_prev[k] * alpha_prev / denom
+            };
+        }
+        for k in 0..n {
+            let alpha_k = if zeta[k] == 0.0 {
+                0.0
+            } else {
+                alpha * zeta_next[k] / zeta[k]
+            };
+            xs[k].assign(xs[k].q() + alpha_k * ps[k].q())?;
+        }
+
+        r.assign(r.q() - alpha * ap.q())?;
+        let r2_new = r.norm2()?;
+        let beta = r2_new / r2;
+        p.assign(r.q() + beta * p.q())?;
+        for k in 0..n {
+            beta_k[k] = if zeta[k] == 0.0 {
+                0.0
+            } else {
+                beta * zeta_next[k] * zeta_next[k] / (zeta[k] * zeta[k])
+            };
+            ps[k].assign(cscale(
+                qdp_types::Complex::from_real(zeta_next[k]),
+                r.q(),
+            ) + beta_k[k] * ps[k].q())?;
+        }
+
+        for k in 0..n {
+            zeta_prev[k] = zeta[k];
+            zeta[k] = zeta_next[k];
+        }
+        alpha_prev = alpha;
+        beta_prev = beta;
+        r2 = r2_new;
+        iters += 1;
+    }
+    Ok(CgReport {
+        iters,
+        rel_resid: (r2 / b2).sqrt(),
+        converged: r2 <= target,
+    })
+}
+
+/// Convenience: `x ← Σ_k α_k (M†M + β_k)⁻¹ b  + c·b` — apply a rational
+/// function in partial-fraction form (the RHMC pseudofermion kernel).
+pub fn apply_rational(
+    m: &WilsonDirac,
+    c: f64,
+    alphas: &[f64],
+    betas: &[f64],
+    out: &LatticeFermion<f64>,
+    b: &LatticeFermion<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> Result<CgReport, CoreError> {
+    let ctx = m.context();
+    let xs: Vec<LatticeFermion<f64>> = (0..betas.len())
+        .map(|_| LatticeFermion::new(ctx))
+        .collect();
+    let report = multishift_cg(m, betas, &xs, b, tol, max_iters)?;
+    out.assign(c * b.q())?;
+    for (a, x) in alphas.iter().zip(xs.iter()) {
+        out.assign(out.q() + *a * x.q())?;
+    }
+    Ok(report)
+}
+
+/// Convenience import for cscale in this module.
+use qdp_core::cscale;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauge::{gaussian_fermion, GaugeField};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<QdpContext>, WilsonDirac, StdRng) {
+        let ctx = QdpContext::k20x(Geometry::symmetric(4));
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = GaugeField::warm(&ctx, &mut rng, 0.25);
+        let m = WilsonDirac::new(&g, 0.3, None);
+        (ctx, m, rng)
+    }
+
+    #[test]
+    fn cg_solves_normal_equations() {
+        let (ctx, m, mut rng) = setup();
+        let b = gaussian_fermion(&ctx, &mut rng);
+        let x = LatticeFermion::<f64>::new(&ctx);
+        let rep = cg_solve(&m, &x, &b, 1e-8, 500).unwrap();
+        assert!(rep.converged, "CG did not converge: {rep:?}");
+        // verify the true residual
+        let ax = LatticeFermion::<f64>::new(&ctx);
+        let tmp = LatticeFermion::<f64>::new(&ctx);
+        m.apply_normal(&ax, &tmp, &x).unwrap();
+        let d = LatticeFermion::<f64>::new(&ctx);
+        d.assign(b.q() - ax.q()).unwrap();
+        let rel = (d.norm2().unwrap() / b.norm2().unwrap()).sqrt();
+        assert!(rel < 1e-7, "true residual {rel}");
+    }
+
+    #[test]
+    fn bicgstab_solves_m_directly() {
+        let (ctx, m, mut rng) = setup();
+        let b = gaussian_fermion(&ctx, &mut rng);
+        let x = LatticeFermion::<f64>::new(&ctx);
+        let rep = bicgstab_solve(&m, &x, &b, 1e-8, 500).unwrap();
+        assert!(rep.converged, "BiCGStab did not converge: {rep:?}");
+        let ax = LatticeFermion::<f64>::new(&ctx);
+        m.apply(&ax, &x).unwrap();
+        let d = LatticeFermion::<f64>::new(&ctx);
+        d.assign(b.q() - ax.q()).unwrap();
+        let rel = (d.norm2().unwrap() / b.norm2().unwrap()).sqrt();
+        assert!(rel < 1e-7, "true residual {rel}");
+    }
+
+    #[test]
+    fn multishift_matches_individual_solves() {
+        let (ctx, m, mut rng) = setup();
+        let b = gaussian_fermion(&ctx, &mut rng);
+        let shifts = [0.05, 0.4, 2.0];
+        let xs: Vec<LatticeFermion<f64>> =
+            (0..3).map(|_| LatticeFermion::new(&ctx)).collect();
+        let rep = multishift_cg(&m, &shifts, &xs, &b, 1e-9, 800).unwrap();
+        assert!(rep.converged, "{rep:?}");
+        // each shifted system verified against its true residual
+        for (k, sigma) in shifts.iter().enumerate() {
+            let ax = LatticeFermion::<f64>::new(&ctx);
+            let tmp = LatticeFermion::<f64>::new(&ctx);
+            m.apply_normal(&ax, &tmp, &xs[k]).unwrap();
+            let d = LatticeFermion::<f64>::new(&ctx);
+            d.assign(b.q() - (ax.q() + *sigma * xs[k].q())).unwrap();
+            let rel = (d.norm2().unwrap() / b.norm2().unwrap()).sqrt();
+            assert!(rel < 1e-6, "shift {sigma}: residual {rel}");
+        }
+    }
+
+    #[test]
+    fn cg_reuses_kernels_across_iterations() {
+        let (ctx, m, mut rng) = setup();
+        let b = gaussian_fermion(&ctx, &mut rng);
+        let x = LatticeFermion::<f64>::new(&ctx);
+        cg_solve(&m, &x, &b, 1e-6, 200).unwrap();
+        let k1 = ctx.n_generated_kernels();
+        // a second solve with a different rhs generates no new kernels
+        let b2 = gaussian_fermion(&ctx, &mut rng);
+        let x2 = LatticeFermion::<f64>::new(&ctx);
+        cg_solve(&m, &x2, &b2, 1e-6, 200).unwrap();
+        assert_eq!(ctx.n_generated_kernels(), k1, "kernel set must be stable");
+        // and the whole solve used only a handful of distinct kernels
+        assert!(k1 < 20, "too many kernels: {k1}");
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let (ctx, m, _rng) = setup();
+        let b = LatticeFermion::<f64>::new(&ctx);
+        let x = LatticeFermion::<f64>::new(&ctx);
+        let rep = cg_solve(&m, &x, &b, 1e-10, 10).unwrap();
+        assert!(rep.converged);
+        assert_eq!(rep.iters, 0);
+    }
+}

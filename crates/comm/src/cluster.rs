@@ -1,0 +1,237 @@
+//! The virtual cluster: rank threads, timed point-to-point messages,
+//! barriers and reductions.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// Interconnect model (paper §VIII-C: MPI through PCIe + InfiniBand, with
+/// MVAPICH2 CUDA-aware MPI on the 2-GPU testbed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way message latency in seconds.
+    pub latency: f64,
+    /// Link bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Sender-side overhead per message (seconds).
+    pub send_overhead: f64,
+}
+
+impl LinkModel {
+    /// QDR InfiniBand-ish: 1.5 µs latency, 4 GB/s.
+    pub fn infiniband_qdr() -> LinkModel {
+        LinkModel {
+            latency: 1.5e-6,
+            bandwidth: 4.0e9,
+            send_overhead: 0.5e-6,
+        }
+    }
+
+    /// Cray Gemini-ish (Blue Waters / Titan): 1.5 µs, ~6 GB/s per direction.
+    pub fn gemini() -> LinkModel {
+        LinkModel {
+            latency: 1.5e-6,
+            bandwidth: 6.0e9,
+            send_overhead: 0.5e-6,
+        }
+    }
+
+    /// Time for a message of `bytes` to arrive after being sent.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// A timed message.
+#[derive(Debug)]
+pub struct Message {
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Sender's simulated clock at the moment of sending.
+    pub sent_at: f64,
+}
+
+type Mesh = Vec<Vec<(Sender<Message>, Receiver<Message>)>>;
+
+/// Per-rank communication handle.
+pub struct RankHandle {
+    /// This rank's id.
+    pub rank: usize,
+    /// Number of ranks.
+    pub n_ranks: usize,
+    /// Link model in effect.
+    pub link: LinkModel,
+    mesh: Arc<Mesh>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl RankHandle {
+    /// Send `data` to `to`, stamped with the sender's simulated time.
+    /// Returns the sender-side completion time (clock + send overhead).
+    pub fn send(&self, to: usize, data: Vec<u8>, now: f64) -> f64 {
+        assert_ne!(to, self.rank, "self-send");
+        self.mesh[self.rank][to]
+            .0
+            .send(Message {
+                data,
+                sent_at: now,
+            })
+            .expect("peer rank hung up");
+        now + self.link.send_overhead
+    }
+
+    /// Blocking receive from `from`. Returns the payload and the simulated
+    /// arrival time under the link model (`sent_at + latency + bytes/bw`).
+    pub fn recv(&self, from: usize, now: f64) -> (Vec<u8>, f64) {
+        let msg = self.mesh[from][self.rank]
+            .1
+            .recv()
+            .expect("peer rank hung up");
+        let arrival = msg.sent_at + self.link.transfer_time(msg.data.len());
+        (msg.data, arrival.max(now))
+    }
+
+    /// Barrier across all ranks (host-thread synchronisation only; the
+    /// simulated clocks are joined by the caller exchanging times).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce a vector of f64 partial values by summation. Returns the
+    /// reduced values and the simulated completion time (butterfly:
+    /// `log₂(N)` rounds of pairwise exchange).
+    pub fn allreduce_sum(&self, values: &[f64], now: f64) -> (Vec<f64>, f64) {
+        let mut acc: Vec<f64> = values.to_vec();
+        let mut t = now;
+        let n = self.n_ranks;
+        if n == 1 {
+            return (acc, t);
+        }
+        let rounds = (n as f64).log2().ceil() as u32;
+        let mut stride = 1usize;
+        for _ in 0..rounds {
+            let peer = self.rank ^ stride;
+            if peer < n {
+                let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+                // exchange (send then recv — channels are buffered, no deadlock)
+                let t_sent = self.send(peer, bytes, t);
+                let (data, arrival) = self.recv(peer, t_sent);
+                t = arrival;
+                for (i, chunk) in data.chunks_exact(8).enumerate() {
+                    acc[i] += f64::from_le_bytes(chunk.try_into().unwrap());
+                }
+            }
+            stride <<= 1;
+        }
+        (acc, t)
+    }
+}
+
+/// Run `f` on `n` rank threads, returning each rank's result in rank order.
+/// (The virtual-machine equivalent of `mpirun -np n`.)
+pub fn run_cluster<R: Send>(
+    n: usize,
+    link: LinkModel,
+    f: impl Fn(RankHandle) -> R + Sync,
+) -> Vec<R> {
+    assert!(n >= 1);
+    let mesh: Arc<Mesh> = Arc::new(
+        (0..n)
+            .map(|_| (0..n).map(|_| unbounded()).collect())
+            .collect(),
+    );
+    let barrier = Arc::new(std::sync::Barrier::new(n));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let mesh = Arc::clone(&mesh);
+                let barrier = Arc::clone(&barrier);
+                let f = &f;
+                s.spawn(move || {
+                    f(RankHandle {
+                        rank,
+                        n_ranks: n,
+                        link,
+                        mesh,
+                        barrier,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_model() {
+        let l = LinkModel::infiniband_qdr();
+        assert!((l.transfer_time(0) - 1.5e-6).abs() < 1e-12);
+        let t = l.transfer_time(4_000_000); // 4 MB at 4 GB/s = 1 ms
+        assert!((t - (1.5e-6 + 1e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_pass_arrival_times() {
+        let results = run_cluster(4, LinkModel::infiniband_qdr(), |h| {
+            // each rank sends its id to the next, stamped at t = rank µs
+            let now = h.rank as f64 * 1e-6;
+            let next = (h.rank + 1) % h.n_ranks;
+            let prev = (h.rank + h.n_ranks - 1) % h.n_ranks;
+            h.send(next, vec![h.rank as u8; 1000], now);
+            let (data, arrival) = h.recv(prev, now);
+            (data[0] as usize, arrival)
+        });
+        for (rank, (from, arrival)) in results.iter().enumerate() {
+            let prev = (rank + 4 - 1) % 4;
+            assert_eq!(*from, prev);
+            let expected = prev as f64 * 1e-6 + 1.5e-6 + 1000.0 / 4.0e9;
+            assert!((arrival - expected).abs() < 1e-12, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let results = run_cluster(4, LinkModel::infiniband_qdr(), |h| {
+            let mine = [h.rank as f64, 1.0];
+            let (sum, t) = h.allreduce_sum(&mine, 0.0);
+            (sum, t)
+        });
+        for (sum, t) in &results {
+            assert_eq!(sum[0], 0.0 + 1.0 + 2.0 + 3.0);
+            assert_eq!(sum[1], 4.0);
+            assert!(*t > 0.0, "reduction must take simulated time");
+        }
+        // all ranks see the same value
+        assert!(results.windows(2).all(|w| w[0].0 == w[1].0));
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_free() {
+        let results = run_cluster(1, LinkModel::infiniband_qdr(), |h| {
+            h.allreduce_sum(&[7.0], 1.0)
+        });
+        assert_eq!(results[0].0, vec![7.0]);
+        assert_eq!(results[0].1, 1.0);
+    }
+
+    #[test]
+    fn arrival_never_before_receiver_clock() {
+        let results = run_cluster(2, LinkModel::infiniband_qdr(), |h| {
+            if h.rank == 0 {
+                h.send(1, vec![0u8; 8], 0.0);
+                0.0
+            } else {
+                // receiver is already far in the future
+                let (_, arrival) = h.recv(0, 1.0);
+                arrival
+            }
+        });
+        assert_eq!(results[1], 1.0);
+    }
+}

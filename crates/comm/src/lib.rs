@@ -1,0 +1,20 @@
+//! # qdp-comm — virtual multi-rank machine and cluster models
+//!
+//! The paper runs on MPI machines (2×K20m over InfiniBand for the overlap
+//! study, Blue Waters / Titan XK partitions for the HMC scaling study).
+//! This crate substitutes:
+//!
+//! * a **virtual cluster** ([`cluster`]): ranks as threads, point-to-point
+//!   messages over crossbeam channels carrying simulated-time stamps, and a
+//!   **link model** (latency + bandwidth; CUDA-aware vs staged-through-host)
+//!   so halo exchange is functionally real *and* has a timeline;
+//! * a **discrete-event machine model** ([`model`]) for the strong-scaling
+//!   replays of Figures 7/8: per-node CPU (XE) and GPU (XK) streaming
+//!   rates, interconnect, PCIe, and Amdahl accounting for the three paper
+//!   configurations (CPU-only, CPU+QUDA, QDP-JIT+QUDA).
+
+pub mod cluster;
+pub mod model;
+
+pub use cluster::{run_cluster, LinkModel, RankHandle};
+pub use model::{MachineModel, NodeModel};

@@ -1,0 +1,43 @@
+//! The scalar backend abstraction shared by the PTX code generator and the
+//! CPU reference evaluator.
+//!
+//! The paper's unparser walks the AST and "yields code that, when executed,
+//! generates code in the PTX language for that particular operation"
+//! (§III-C). Our walk is generic over a [`Backend`]: driven by the PTX
+//! backend it *emits instructions*; driven by the CPU backend it *computes
+//! values*. Both run the **identical operation sequence**, so the reference
+//! path (QDP++'s "original implementation") and the generated kernels agree
+//! bit-for-bit in every precision — the property the validation tests
+//! assert.
+
+use qdp_expr::ShiftDir;
+
+/// A scalar compute backend.
+pub trait Backend {
+    /// A scalar value: a virtual register (PTX) or a number (CPU).
+    type V: Clone;
+
+    /// A compile-time constant.
+    fn c(&mut self, v: f64) -> Self::V;
+    /// Addition.
+    fn add(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+    /// Subtraction.
+    fn sub(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+    /// Multiplication.
+    fn mul(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+    /// Negation.
+    fn neg(&mut self, a: &Self::V) -> Self::V;
+    /// Fused multiply-add `a·b + c` (PTX `fma.rn`, Rust `mul_add`).
+    fn fma(&mut self, a: &Self::V, b: &Self::V, c: &Self::V) -> Self::V;
+
+    /// Load component `comp` of leaf `leaf` at the current (shifted) site.
+    fn load(&mut self, leaf: usize, comp: usize) -> Self::V;
+    /// The `idx`-th scalar parameter (real or imaginary part).
+    fn scalar(&mut self, idx: usize, imag: bool) -> Self::V;
+    /// Enter a shift: subsequent loads read the displaced site (§II-C).
+    fn push_shift(&mut self, mu: usize, dir: ShiftDir);
+    /// Leave the innermost shift.
+    fn pop_shift(&mut self);
+    /// Store component `comp` of the target at the current site.
+    fn store(&mut self, comp: usize, v: &Self::V);
+}

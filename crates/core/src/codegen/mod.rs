@@ -1,0 +1,12 @@
+//! The code-generation machinery: the backend abstraction, the site-value
+//! algebra, and the PTX / CPU backends (paper §III).
+
+pub mod backend;
+pub mod cpu_backend;
+pub mod ptx_backend;
+pub mod value;
+
+pub use backend::Backend;
+pub use cpu_backend::CpuGen;
+pub use ptx_backend::{KernelEnv, PtxGen};
+pub use value::{gen_expr, load_leaf, store_val, GenCtx, SVal, CV};

@@ -1,0 +1,207 @@
+//! The QDP-JIT runtime context: device, software cache, kernel cache,
+//! auto-tuner, geometry and the device-resident tables (neighbour tables,
+//! subset site lists).
+
+use parking_lot::Mutex;
+use qdp_cache::MemoryCache;
+use qdp_expr::ShiftDir;
+use qdp_gpu_sim::{Device, DeviceConfig, DevicePtr};
+use qdp_jit::{AutoTuner, KernelCache};
+use qdp_layout::{Dir, Geometry, LayoutKind, Subset};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The runtime context: one per (simulated) GPU.
+pub struct QdpContext {
+    device: Arc<Device>,
+    cache: MemoryCache,
+    kernels: KernelCache,
+    tuner: AutoTuner,
+    geom: Geometry,
+    layout: LayoutKind,
+    nbr_tables: Mutex<HashMap<(usize, ShiftDir, bool), DevicePtr>>,
+    subset_tables: Mutex<HashMap<Subset, (DevicePtr, usize)>>,
+    ptx_texts: Mutex<HashMap<String, Arc<str>>>,
+    execute_payload: AtomicBool,
+}
+
+impl QdpContext {
+    /// Bring up a context on a fresh simulated device.
+    pub fn new(cfg: DeviceConfig, geom: Geometry, layout: LayoutKind) -> Arc<QdpContext> {
+        let device = Arc::new(Device::new(cfg));
+        let max_block = device.config().max_threads_per_block;
+        Arc::new(QdpContext {
+            cache: MemoryCache::new(Arc::clone(&device)),
+            kernels: KernelCache::new(),
+            tuner: AutoTuner::new(max_block),
+            device,
+            geom,
+            layout,
+            nbr_tables: Mutex::new(HashMap::new()),
+            subset_tables: Mutex::new(HashMap::new()),
+            ptx_texts: Mutex::new(HashMap::new()),
+            execute_payload: AtomicBool::new(true),
+        })
+    }
+
+    /// Context with the paper's benchmark device (K20x, ECC off) and the
+    /// coalesced SoA layout.
+    pub fn k20x(geom: Geometry) -> Arc<QdpContext> {
+        QdpContext::new(DeviceConfig::k20x_ecc_off(), geom, LayoutKind::SoA)
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The software memory cache (paper §IV).
+    pub fn cache(&self) -> &MemoryCache {
+        &self.cache
+    }
+
+    /// The JIT kernel cache (paper §III-D).
+    pub fn kernels(&self) -> &KernelCache {
+        &self.kernels
+    }
+
+    /// The block-size auto-tuner (paper §VII).
+    pub fn tuner(&self) -> &AutoTuner {
+        &self.tuner
+    }
+
+    /// Sub-grid geometry of this rank.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Data layout in effect.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
+    }
+
+    /// Whether kernel launches execute their payload functionally (true by
+    /// default). Large benchmark sweeps may disable this after validating
+    /// once — the simulated clock advances either way.
+    pub fn payload_execution(&self) -> bool {
+        self.execute_payload.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable functional payload execution.
+    pub fn set_payload_execution(&self, on: bool) {
+        self.execute_payload.store(on, Ordering::Relaxed);
+    }
+
+    /// Cache a generated PTX text under its structural key.
+    pub fn ptx_for_key(
+        &self,
+        key: &str,
+        generate: impl FnOnce() -> String,
+    ) -> Arc<str> {
+        let mut map = self.ptx_texts.lock();
+        if let Some(t) = map.get(key) {
+            return Arc::clone(t);
+        }
+        let text: Arc<str> = generate().into();
+        map.insert(key.to_string(), Arc::clone(&text));
+        text
+    }
+
+    /// Number of distinct generated PTX programs.
+    pub fn n_generated_kernels(&self) -> usize {
+        self.ptx_texts.lock().len()
+    }
+
+    /// Device pointer of the neighbour table for `(mu, dir)`. Built lazily
+    /// and pinned (never spilled). `remote` selects the multi-rank variant
+    /// whose wrapped entries point into receive buffers.
+    pub fn neighbor_table(&self, mu: usize, dir: ShiftDir, remote: bool) -> DevicePtr {
+        let mut map = self.nbr_tables.lock();
+        if let Some(p) = map.get(&(mu, dir, remote)) {
+            return *p;
+        }
+        let d = match dir {
+            ShiftDir::Forward => Dir::Forward,
+            ShiftDir::Backward => Dir::Backward,
+        };
+        let tbl = if remote {
+            self.geom.neighbor_table_remote(mu, d)
+        } else {
+            self.geom.neighbor_table_local(mu, d)
+        };
+        let bytes: Vec<u8> = tbl.iter().flat_map(|e| e.0.to_le_bytes()).collect();
+        let ptr = self
+            .device
+            .alloc(bytes.len())
+            .expect("device memory exhausted while pinning neighbour table");
+        self.device.h2d(ptr, &bytes);
+        map.insert((mu, dir, remote), ptr);
+        ptr
+    }
+
+    /// Device pointer and length of a subset's site list. `All` needs no
+    /// table (threads map straight onto sites).
+    pub fn subset_table(&self, subset: Subset) -> (Option<DevicePtr>, usize) {
+        if subset == Subset::All {
+            return (None, self.geom.vol());
+        }
+        let mut map = self.subset_tables.lock();
+        if let Some((p, n)) = map.get(&subset) {
+            return (Some(*p), *n);
+        }
+        let sites = subset.sites(&self.geom);
+        let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
+        let ptr = self
+            .device
+            .alloc(bytes.len())
+            .expect("device memory exhausted while pinning subset table");
+        self.device.h2d(ptr, &bytes);
+        map.insert(subset, (ptr, sites.len()));
+        (Some(ptr), sites.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_cached() {
+        let ctx = QdpContext::k20x(Geometry::symmetric(4));
+        let p1 = ctx.neighbor_table(0, ShiftDir::Forward, false);
+        let p2 = ctx.neighbor_table(0, ShiftDir::Forward, false);
+        assert_eq!(p1, p2);
+        let p3 = ctx.neighbor_table(0, ShiftDir::Backward, false);
+        assert_ne!(p1, p3);
+        let (t1, n1) = ctx.subset_table(Subset::Even);
+        let (t2, n2) = ctx.subset_table(Subset::Even);
+        assert_eq!(t1, t2);
+        assert_eq!(n1, 128);
+        assert_eq!(n2, 128);
+        let (t_all, n_all) = ctx.subset_table(Subset::All);
+        assert!(t_all.is_none());
+        assert_eq!(n_all, 256);
+    }
+
+    #[test]
+    fn neighbor_table_contents() {
+        let ctx = QdpContext::k20x(Geometry::symmetric(4));
+        let p = ctx.neighbor_table(1, ShiftDir::Forward, false);
+        let mem = ctx.device().memory();
+        let g = ctx.geometry();
+        for s in 0..g.vol() {
+            let entry = mem.read_u32(p + 4 * s as u64);
+            let (expect, _) = g.neighbor(s, 1, Dir::Forward);
+            assert_eq!(entry as usize, expect);
+        }
+    }
+
+    #[test]
+    fn payload_toggle() {
+        let ctx = QdpContext::k20x(Geometry::symmetric(2));
+        assert!(ctx.payload_execution());
+        ctx.set_payload_execution(false);
+        assert!(!ctx.payload_execution());
+    }
+}

@@ -1,0 +1,545 @@
+//! The evaluation pipeline: expression → PTX → JIT → cache → tuned launch.
+//!
+//! This is the paper's §III–§IV machinery end to end: the AST is unparsed
+//! into a PTX kernel (once per expression *structure*), the driver JIT
+//! translates it (once, cached), the software cache pages every referenced
+//! field onto the device, and the kernel is launched with an auto-tuned
+//! block size. A reference path evaluates the same AST on the CPU — the
+//! "original implementation" — for validation and baseline timing.
+
+use crate::codegen::cpu_backend::CpuGen;
+use crate::codegen::ptx_backend::{KernelEnv, PtxGen};
+use crate::codegen::value::{gen_expr, store_val, GenCtx};
+use crate::context::QdpContext;
+use qdp_cache::CacheError;
+use qdp_expr::{Expr, FieldRef, TypeError};
+use qdp_gpu_sim::{KernelShape, LaunchError};
+use qdp_jit::{launch_tuned, JitError, LaunchArg};
+use qdp_layout::{FieldLayout, LayoutKind, Subset};
+use qdp_ptx::emit::emit_module;
+use qdp_ptx::module::Module;
+use qdp_types::{ElemKind, FloatType, Real, TypeShape};
+use rayon::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Errors from expression evaluation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Ill-typed expression.
+    Type(TypeError),
+    /// Memory-cache failure.
+    Cache(CacheError),
+    /// Launch failure that auto-tuning could not recover.
+    Launch(LaunchError),
+    /// JIT translation failure.
+    Jit(JitError),
+    /// Anything else.
+    Msg(String),
+}
+
+impl From<TypeError> for CoreError {
+    fn from(e: TypeError) -> Self {
+        CoreError::Type(e)
+    }
+}
+impl From<CacheError> for CoreError {
+    fn from(e: CacheError) -> Self {
+        CoreError::Cache(e)
+    }
+}
+impl From<LaunchError> for CoreError {
+    fn from(e: LaunchError) -> Self {
+        CoreError::Launch(e)
+    }
+}
+impl From<JitError> for CoreError {
+    fn from(e: JitError) -> Self {
+        CoreError::Jit(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Type(e) => write!(f, "{e}"),
+            CoreError::Cache(e) => write!(f, "{e}"),
+            CoreError::Launch(e) => write!(f, "{e}"),
+            CoreError::Jit(e) => write!(f, "{e}"),
+            CoreError::Msg(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Outcome of one evaluated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Generated kernel name.
+    pub kernel_name: String,
+    /// Auto-tuned block size used.
+    pub block_size: u32,
+    /// Simulated execution time of the launch (seconds).
+    pub sim_time: f64,
+    /// Payload threads (sites evaluated).
+    pub threads: usize,
+    /// Sustained bandwidth of the launch (bytes/s, simulated).
+    pub bandwidth: f64,
+    /// Flop rate of the launch (flops/s, simulated).
+    pub flops_rate: f64,
+}
+
+impl EvalReport {
+    fn empty() -> EvalReport {
+        EvalReport {
+            kernel_name: String::new(),
+            block_size: 0,
+            sim_time: 0.0,
+            threads: 0,
+            bandwidth: 0.0,
+            flops_rate: 0.0,
+        }
+    }
+}
+
+/// Scalar complexity flags in the same traversal order as
+/// [`Expr::scalar_values`].
+fn scalar_flags(e: &Expr, out: &mut Vec<bool>) {
+    match e {
+        Expr::Scalar { complex, .. } => out.push(*complex),
+        Expr::Unary(_, c) => scalar_flags(c, out),
+        Expr::Binary(_, a, b) => {
+            scalar_flags(a, out);
+            scalar_flags(b, out);
+        }
+        Expr::Shift { child, .. } => scalar_flags(child, out),
+        Expr::GammaMul { child, .. } => scalar_flags(child, out),
+        Expr::CloverApply { child, .. } => scalar_flags(child, out),
+        Expr::Field(_) => {}
+    }
+}
+
+fn max_ft(a: FloatType, b: FloatType) -> FloatType {
+    if a == FloatType::F64 || b == FloatType::F64 {
+        FloatType::F64
+    } else {
+        FloatType::F32
+    }
+}
+
+/// Which sites a launch evaluates.
+#[derive(Debug, Clone, Copy)]
+pub enum SiteSel {
+    /// A standard subset (All / Even / Odd).
+    Subset(Subset),
+    /// An explicit device-resident site list (the inner/face partitions of
+    /// the overlap machinery, §V).
+    List {
+        /// Device pointer to the u32 site list.
+        ptr: qdp_gpu_sim::DevicePtr,
+        /// Number of sites.
+        len: usize,
+    },
+}
+
+/// Remote-shift environment for multi-rank evaluation (§V): which
+/// dimensions are split across ranks, and the receive buffers per
+/// `(mu, dir, leaf)`.
+#[derive(Debug, Clone)]
+pub struct RemoteEnv {
+    /// Dimension `mu` is decomposed across ranks.
+    pub split_dims: [bool; 4],
+    /// `recv[&(mu, dir)][leaf_index]` = receive-buffer device pointer
+    /// (0 for unsplit dimensions — never dereferenced).
+    pub recv: std::collections::HashMap<(usize, qdp_expr::ShiftDir), Vec<qdp_gpu_sim::DevicePtr>>,
+}
+
+/// Evaluate `expr` into `target` over `subset` through the full QDP-JIT
+/// pipeline (generated kernel on the simulated device).
+pub fn eval_expr(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    subset: Subset,
+) -> Result<EvalReport, CoreError> {
+    eval_impl(ctx, target, expr, SiteSel::Subset(subset), None)
+}
+
+/// Full-control evaluation used by the multi-rank overlap machinery.
+pub fn eval_impl(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    sel: SiteSel,
+    remote: Option<&RemoteEnv>,
+) -> Result<EvalReport, CoreError> {
+    let kind = expr.kind()?;
+    if kind != target.kind {
+        return Err(CoreError::Msg(format!(
+            "cannot assign {kind:?} expression to {:?} field",
+            target.kind
+        )));
+    }
+    let vol = ctx.geometry().vol();
+    let ft = max_ft(expr.float_type(), target.ft);
+    let leaves = expr.leaves();
+    let shifts = expr.shifts();
+    if remote.is_some() && expr.has_nested_shift() {
+        return Err(CoreError::Msg(
+            "nested shifts must be materialised before multi-rank evaluation \
+             (the paper executes inner shifts non-overlapping, §V)"
+                .into(),
+        ));
+    }
+    let mut flags = Vec::new();
+    scalar_flags(expr, &mut flags);
+    let dims = ctx.geometry().dims();
+
+    let subset_mapped = !matches!(sel, SiteSel::Subset(Subset::All));
+    let env = KernelEnv {
+        n_sites: vol,
+        layout: ctx.layout(),
+        ft,
+        subset_mapped,
+        remote_shifts: remote.is_some(),
+        face_vols: std::array::from_fn(|mu| vol / dims[mu]),
+        shifts: shifts.clone(),
+        scalar_complex: flags.clone(),
+        target_ft: target.ft,
+        target_shape: TypeShape::of(target.kind),
+    };
+
+    // Structural key: expression structure + the codegen environment.
+    let key = format!(
+        "{}|v{}|{:?}|{}|m{}|r{}|t{:?}{}",
+        expr.kernel_key(),
+        vol,
+        env.layout,
+        ft,
+        env.subset_mapped,
+        env.remote_shifts,
+        target.kind,
+        target.ft.tag(),
+    );
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let name = format!("qdp_{:016x}", h.finish());
+
+    let ptx = ctx.ptx_for_key(&key, || {
+        let mut g = PtxGen::new(&name, &env, &leaves);
+        let mut cx = GenCtx::new(&leaves);
+        let v = gen_expr(expr, &mut g, &mut cx);
+        store_val(&mut g, &v);
+        emit_module(&Module::with_kernel(g.finish()))
+    });
+    let kernel = ctx.kernels().get_or_compile(&ptx)?;
+
+    // Page in the working set (target + all leaves) — the §IV walk.
+    let mut ids = vec![target.id];
+    ids.extend(leaves.iter().map(|l| l.id));
+    let ptrs = ctx.cache().assure_on_device(&ids)?;
+
+    let (site_tbl, n_threads) = match sel {
+        SiteSel::Subset(s) => ctx.subset_table(s),
+        SiteSel::List { ptr, len } => (Some(ptr), len),
+    };
+    if n_threads == 0 {
+        return Ok(EvalReport::empty());
+    }
+
+    // Marshal arguments in the declaration order of the generated kernel.
+    let mut args: Vec<LaunchArg> = Vec::new();
+    args.push(LaunchArg::Ptr(ptrs[0]));
+    for p in &ptrs[1..] {
+        args.push(LaunchArg::Ptr(*p));
+    }
+    for ((re, im), cplx) in expr.scalar_values().iter().zip(flags.iter()) {
+        match ft {
+            FloatType::F32 => {
+                args.push(LaunchArg::F32(*re as f32));
+                if *cplx {
+                    args.push(LaunchArg::F32(*im as f32));
+                }
+            }
+            FloatType::F64 => {
+                args.push(LaunchArg::F64(*re));
+                if *cplx {
+                    args.push(LaunchArg::F64(*im));
+                }
+            }
+        }
+    }
+    args.push(LaunchArg::U32(n_threads as u32));
+    if let Some(t) = site_tbl {
+        args.push(LaunchArg::Ptr(t));
+    }
+    for &(mu, dir) in &shifts {
+        let is_remote = remote.map(|r| r.split_dims[mu]).unwrap_or(false);
+        args.push(LaunchArg::Ptr(ctx.neighbor_table(mu, dir, is_remote)));
+    }
+    if let Some(r) = remote {
+        for &(mu, dir) in &shifts {
+            match r.recv.get(&(mu, dir)) {
+                Some(bufs) => {
+                    debug_assert_eq!(bufs.len(), leaves.len());
+                    for p in bufs {
+                        args.push(LaunchArg::Ptr(*p));
+                    }
+                }
+                None => {
+                    for _ in 0..leaves.len() {
+                        args.push(LaunchArg::Ptr(0));
+                    }
+                }
+            }
+        }
+    }
+
+    let site_stride = match ctx.layout() {
+        LayoutKind::SoA => 1,
+        LayoutKind::AoS => env.target_shape.n_reals(),
+    };
+    let outcome = launch_tuned(
+        ctx.device(),
+        ctx.tuner(),
+        &kernel,
+        &args,
+        n_threads,
+        site_stride,
+        ctx.payload_execution(),
+    )?;
+    ctx.cache().mark_device_dirty(target.id)?;
+
+    Ok(EvalReport {
+        kernel_name: kernel.name.clone(),
+        block_size: outcome.block_size,
+        sim_time: outcome.timing.time,
+        threads: n_threads,
+        bandwidth: outcome.timing.bandwidth,
+        flops_rate: outcome.timing.flops_rate,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reference (CPU) evaluation — the "original implementation"
+// ---------------------------------------------------------------------------
+
+/// Snapshot one field's host data as `Vec<R>` in SoA component order.
+fn snapshot_leaf<R: Real>(
+    ctx: &QdpContext,
+    leaf: &FieldRef,
+) -> Result<Vec<R>, CoreError> {
+    let vol = ctx.geometry().vol();
+    let shape = leaf.shape();
+    let n_comp = shape.n_reals();
+    let layout = FieldLayout::new(ctx.layout(), vol, n_comp);
+    let esize = leaf.ft.size_bytes();
+    ctx.cache()
+        .with_host(leaf.id, |bytes| {
+            let mut out = vec![R::zero(); vol * n_comp];
+            for site in 0..vol {
+                for comp in 0..n_comp {
+                    let idx = layout.real_index(site, comp) * esize;
+                    let v = match leaf.ft {
+                        FloatType::F32 => {
+                            f32::from_le_bytes(bytes[idx..idx + 4].try_into().unwrap()) as f64
+                        }
+                        FloatType::F64 => {
+                            f64::from_le_bytes(bytes[idx..idx + 8].try_into().unwrap())
+                        }
+                    };
+                    out[comp * vol + site] = R::from_f64(v);
+                }
+            }
+            out
+        })
+        .map_err(CoreError::from)
+}
+
+fn eval_reference_typed<R: Real>(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    subset: Subset,
+) -> Result<(), CoreError> {
+    let geom = ctx.geometry().clone();
+    let vol = geom.vol();
+    let leaves = expr.leaves();
+    let data: Vec<Vec<R>> = leaves
+        .iter()
+        .map(|l| snapshot_leaf::<R>(ctx, l))
+        .collect::<Result<_, _>>()?;
+    let scalars = expr.scalar_values();
+    let sites = subset.sites(&geom);
+
+    let results: Vec<(u32, Vec<(usize, R)>)> = sites
+        .par_iter()
+        .map(|&s| {
+            let mut b = CpuGen::<R>::new(&data, &scalars, &geom, s as usize);
+            let mut cx = GenCtx::new(&leaves);
+            let v = gen_expr(expr, &mut b, &mut cx);
+            store_val(&mut b, &v);
+            (s, std::mem::take(&mut b.out))
+        })
+        .collect();
+
+    let shape = TypeShape::of(target.kind);
+    let layout = FieldLayout::new(ctx.layout(), vol, shape.n_reals());
+    let esize = target.ft.size_bytes();
+    ctx.cache().with_host_mut(target.id, |bytes| {
+        for (site, outs) in &results {
+            for (comp, v) in outs {
+                let idx = layout.real_index(*site as usize, *comp) * esize;
+                match target.ft {
+                    FloatType::F32 => bytes[idx..idx + 4]
+                        .copy_from_slice(&(v.to_f64() as f32).to_le_bytes()),
+                    FloatType::F64 => {
+                        bytes[idx..idx + 8].copy_from_slice(&v.to_f64().to_le_bytes())
+                    }
+                }
+            }
+        }
+    })?;
+    Ok(())
+}
+
+/// Evaluate `expr` into `target` on the CPU reference path (the paper's
+/// "original implementation"). Same operation sequence as the generated
+/// kernel — results agree bit-for-bit in the same precision.
+pub fn eval_reference(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    subset: Subset,
+) -> Result<(), CoreError> {
+    let kind = expr.kind()?;
+    if kind != target.kind {
+        return Err(CoreError::Msg(format!(
+            "cannot assign {kind:?} expression to {:?} field",
+            target.kind
+        )));
+    }
+    let ft = max_ft(expr.float_type(), target.ft);
+    match ft {
+        FloatType::F32 => eval_reference_typed::<f32>(ctx, target, expr, subset),
+        FloatType::F64 => eval_reference_typed::<f64>(ctx, target, expr, subset),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Account the runtime tree-reduction pass as a second kernel (see the
+/// substitution note in DESIGN.md), then sum the temporary on the host side
+/// of the simulator.
+fn reduce_device_sum(
+    ctx: &QdpContext,
+    temp: FieldRef,
+    n_comp: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let vol = ctx.geometry().vol();
+    let ptr = ctx.cache().assure_on_device(&[temp.id])?[0];
+    let esize = temp.ft.size_bytes();
+    let layout = FieldLayout::new(ctx.layout(), vol, n_comp);
+
+    // Timing: one streaming pass over the temporary.
+    let shape = KernelShape {
+        threads: vol,
+        read_bytes_per_thread: n_comp * esize,
+        write_bytes_per_thread: 0,
+        flops_per_thread: n_comp,
+        regs_per_thread: 16,
+        access_bytes: esize,
+        site_stride: layout.site_stride(),
+        double_precision: temp.ft == FloatType::F64,
+    };
+    ctx.device()
+        .account_launch(&shape, 128)
+        .map_err(CoreError::Launch)?;
+
+    let mem = ctx.device().memory();
+    let mut sums = vec![0.0f64; n_comp];
+    for comp in 0..n_comp {
+        let mut acc = 0.0f64;
+        for site in 0..vol {
+            let idx = layout.real_index(site, comp) * esize;
+            acc += match temp.ft {
+                FloatType::F32 => mem.read_f32(ptr + idx as u64) as f64,
+                FloatType::F64 => mem.read_f64(ptr + idx as u64),
+            };
+        }
+        sums[comp] = acc;
+    }
+    Ok(sums)
+}
+
+/// `Σ_x expr(x)` for a real-kind expression over a subset.
+pub fn sum_real(ctx: &QdpContext, expr: &Expr, subset: Subset) -> Result<f64, CoreError> {
+    if expr.kind()? != ElemKind::Real {
+        return Err(CoreError::Msg("sum_real of non-real expression".into()));
+    }
+    let ft = expr.float_type();
+    let vol = ctx.geometry().vol();
+    let id = ctx.cache().register(vol * ft.size_bytes());
+    let temp = FieldRef {
+        id,
+        kind: ElemKind::Real,
+        ft,
+    };
+    let r = (|| {
+        eval_expr(ctx, temp, expr, subset)?;
+        let s = reduce_device_sum(ctx, temp, 1)?;
+        Ok(s[0])
+    })();
+    ctx.cache().unregister(id);
+    r
+}
+
+/// `Σ_x expr(x)` for a complex-kind expression over a subset.
+pub fn sum_complex(
+    ctx: &QdpContext,
+    expr: &Expr,
+    subset: Subset,
+) -> Result<(f64, f64), CoreError> {
+    if expr.kind()? != ElemKind::Complex {
+        return Err(CoreError::Msg("sum_complex of non-complex expression".into()));
+    }
+    let ft = expr.float_type();
+    let vol = ctx.geometry().vol();
+    let id = ctx.cache().register(vol * 2 * ft.size_bytes());
+    let temp = FieldRef {
+        id,
+        kind: ElemKind::Complex,
+        ft,
+    };
+    let r = (|| {
+        eval_expr(ctx, temp, expr, subset)?;
+        let s = reduce_device_sum(ctx, temp, 2)?;
+        Ok((s[0], s[1]))
+    })();
+    ctx.cache().unregister(id);
+    r
+}
+
+/// `‖expr‖² = Σ_x Σ_comp |comp|²`.
+pub fn norm2(ctx: &QdpContext, expr: &Expr, subset: Subset) -> Result<f64, CoreError> {
+    let n2 = Expr::Unary(qdp_expr::UnaryOp::LocalNorm2, Box::new(expr.clone()));
+    sum_real(ctx, &n2, subset)
+}
+
+/// `⟨a, b⟩ = Σ_x Σ_comp conj(a)·b`.
+pub fn inner_product(
+    ctx: &QdpContext,
+    a: &Expr,
+    b: &Expr,
+    subset: Subset,
+) -> Result<(f64, f64), CoreError> {
+    let ip = Expr::Binary(
+        qdp_expr::BinaryOp::LocalInnerProduct,
+        Box::new(a.clone()),
+        Box::new(b.clone()),
+    );
+    sum_complex(ctx, &ip, subset)
+}

@@ -1,0 +1,414 @@
+//! Multi-rank evaluation: halo exchange and communication/computation
+//! overlap (paper §V).
+//!
+//! On distributed-memory systems the shift operations introduce data
+//! dependencies on off-node grid points. For an expression with shifts the
+//! local sub-grid is partitioned into **inner sites** and **face sites**:
+//! gather kernels pack the face data into contiguous GPU memory, it is sent
+//! (directly for CUDA-aware MPI, staged through the host otherwise), the
+//! compute kernel is launched on the inner sites while the transfer is in
+//! flight, and the face sites are evaluated once the data has arrived.
+//! Nested shifts ("shifts of shifts") are materialised into temporaries
+//! first — the paper executes them non-overlapping.
+
+use crate::context::QdpContext;
+use crate::eval::{self, CoreError, EvalReport, RemoteEnv, SiteSel};
+use parking_lot::Mutex;
+use qdp_comm::cluster::RankHandle;
+use qdp_expr::{Expr, FieldRef, ShiftDir};
+use qdp_gpu_sim::DevicePtr;
+use qdp_layout::{Decomposition, Dir, FieldLayout, Subset};
+use qdp_types::TypeShape;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn to_dir(d: ShiftDir) -> Dir {
+    match d {
+        ShiftDir::Forward => Dir::Forward,
+        ShiftDir::Backward => Dir::Backward,
+    }
+}
+
+fn contains_shift(e: &Expr) -> bool {
+    match e {
+        Expr::Shift { .. } => true,
+        Expr::Unary(_, c) => contains_shift(c),
+        Expr::Binary(_, a, b) => contains_shift(a) || contains_shift(b),
+        Expr::GammaMul { child, .. } => contains_shift(child),
+        Expr::CloverApply { child, .. } => contains_shift(child),
+        Expr::Field(_) | Expr::Scalar { .. } => false,
+    }
+}
+
+/// One rank of a multi-rank QDP-JIT run.
+pub struct MultiRank {
+    /// The rank-local context (own simulated device, own sub-grid).
+    pub ctx: Arc<QdpContext>,
+    /// Global decomposition.
+    pub decomp: Decomposition,
+    /// This rank.
+    pub rank: usize,
+    /// Communication handle.
+    pub handle: RankHandle,
+    /// CUDA-aware MPI: transfers go GPU↔GPU without host staging (§V).
+    pub cuda_aware: bool,
+    /// Overlap communication with inner-site computation (§V). When false,
+    /// the whole lattice is evaluated after the exchange completes.
+    pub overlap: bool,
+    site_lists: Mutex<HashMap<String, (DevicePtr, usize)>>,
+}
+
+impl MultiRank {
+    /// Wrap a context + handle into a rank.
+    pub fn new(
+        ctx: Arc<QdpContext>,
+        decomp: Decomposition,
+        handle: RankHandle,
+        cuda_aware: bool,
+        overlap: bool,
+    ) -> MultiRank {
+        let rank = handle.rank;
+        MultiRank {
+            ctx,
+            decomp,
+            rank,
+            handle,
+            cuda_aware,
+            overlap,
+            site_lists: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Upload (and cache) a site-list table.
+    fn site_list(&self, key: &str, sites: &[u32]) -> (DevicePtr, usize) {
+        let mut map = self.site_lists.lock();
+        if let Some(v) = map.get(key) {
+            return *v;
+        }
+        let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
+        let ptr = self
+            .ctx
+            .device()
+            .alloc(bytes.len().max(4))
+            .expect("device memory exhausted pinning site list");
+        self.ctx.device().h2d(ptr, &bytes);
+        map.insert(key.to_string(), (ptr, sites.len()));
+        (ptr, sites.len())
+    }
+
+    /// Materialise nested shifts into temporaries (returns rewritten
+    /// expression and the temp field ids to free afterwards).
+    fn materialize_nested(
+        &self,
+        e: &Expr,
+        temps: &mut Vec<u64>,
+    ) -> Result<Expr, CoreError> {
+        Ok(match e {
+            Expr::Shift { mu, dir, child } => {
+                let c = self.materialize_nested(child, temps)?;
+                let c = if contains_shift(&c) {
+                    // evaluate the shifted subexpression into a temporary
+                    let kind = c.kind()?;
+                    let ft = c.float_type();
+                    let shape = TypeShape::of(kind);
+                    let bytes =
+                        self.ctx.geometry().vol() * shape.n_reals() * ft.size_bytes();
+                    let id = self.ctx.cache().register(bytes);
+                    temps.push(id);
+                    let tref = FieldRef { id, kind, ft };
+                    self.eval(tref, &c)?;
+                    Expr::Field(tref)
+                } else {
+                    c
+                };
+                Expr::Shift {
+                    mu: *mu,
+                    dir: *dir,
+                    child: Box::new(c),
+                }
+            }
+            Expr::Unary(op, c) => {
+                Expr::Unary(*op, Box::new(self.materialize_nested(c, temps)?))
+            }
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(self.materialize_nested(a, temps)?),
+                Box::new(self.materialize_nested(b, temps)?),
+            ),
+            Expr::GammaMul { gamma, child } => Expr::GammaMul {
+                gamma: *gamma,
+                child: Box::new(self.materialize_nested(child, temps)?),
+            },
+            Expr::CloverApply { diag, tri, child } => Expr::CloverApply {
+                diag: *diag,
+                tri: *tri,
+                child: Box::new(self.materialize_nested(child, temps)?),
+            },
+            other => other.clone(),
+        })
+    }
+
+    /// Evaluate `expr` into `target` with halo exchange along split
+    /// dimensions, overlapping communication with inner-site computation
+    /// when enabled. SPMD: every rank must call this with the structurally
+    /// identical expression.
+    pub fn eval(&self, target: FieldRef, expr: &Expr) -> Result<EvalReport, CoreError> {
+        let mut temps = Vec::new();
+        let expr = self.materialize_nested(expr, &mut temps)?;
+        let result = self.eval_flat(target, &expr);
+        for id in temps {
+            self.ctx.cache().unregister(id);
+        }
+        result
+    }
+
+    fn eval_flat(&self, target: FieldRef, expr: &Expr) -> Result<EvalReport, CoreError> {
+        let shifts = expr.shifts();
+        let split: Vec<(usize, ShiftDir)> = shifts
+            .iter()
+            .copied()
+            .filter(|&(mu, _)| self.decomp.is_split(mu))
+            .collect();
+        if split.is_empty() {
+            return eval::eval_expr(&self.ctx, target, expr, Subset::All);
+        }
+
+        let t_start = self.ctx.device().now();
+        let geom = self.ctx.geometry().clone();
+        let vol = geom.vol();
+        let leaves = expr.leaves();
+        let device = self.ctx.device();
+
+        // Make all leaves resident (the gather kernels read device data).
+        let leaf_ids: Vec<u64> = leaves.iter().map(|l| l.id).collect();
+        let leaf_ptrs = self.ctx.cache().assure_on_device(&leaf_ids)?;
+
+        let mut split_dims = [false; 4];
+        for &(mu, _) in &split {
+            split_dims[mu] = true;
+        }
+
+        // --- gather + send per split (mu, dir) ---
+        // For a Forward shift I need my forward neighbour's low slab, so I
+        // send my own low slab backward; symmetrically for Backward.
+        let mut pending: Vec<((usize, ShiftDir), usize, usize)> = Vec::new(); // (key, recv_from, bytes)
+        for &(mu, dir) in &split {
+            let (send_face_dir, send_to, recv_from) = match dir {
+                ShiftDir::Forward => (
+                    Dir::Backward,
+                    self.decomp.neighbor_rank(self.rank, mu, Dir::Backward),
+                    self.decomp.neighbor_rank(self.rank, mu, Dir::Forward),
+                ),
+                ShiftDir::Backward => (
+                    Dir::Forward,
+                    self.decomp.neighbor_rank(self.rank, mu, Dir::Forward),
+                    self.decomp.neighbor_rank(self.rank, mu, Dir::Backward),
+                ),
+            };
+            let face = geom.face_sites(mu, send_face_dir);
+            let iv_r = face.len();
+
+            // Only the leaves referenced under this shift need their slabs
+            // moved (e.g. the dslash's forward term ships one spinor, not
+            // the whole gauge field).
+            let used = expr.leaves_under_shift(mu, dir);
+
+            // Gather each used leaf's slab into one contiguous message,
+            // laid out like the receive buffer: [leaf][comp*IVr + slot].
+            // In timing-only mode the payload is a placeholder of the right
+            // size (the clocks still see the full traffic).
+            let functional = self.ctx.payload_execution();
+            let mut payload = Vec::new();
+            let mut gather_bytes = 0usize;
+            for (li, leaf) in leaves.iter().enumerate() {
+                if !used.iter().any(|r| r.id == leaf.id) {
+                    continue;
+                }
+                let shape = leaf.shape();
+                let n_comp = shape.n_reals();
+                let esize = leaf.ft.size_bytes();
+                let layout = FieldLayout::new(self.ctx.layout(), vol, n_comp);
+                let base = leaf_ptrs[li];
+                let mem = device.memory();
+                if functional {
+                    for comp in 0..n_comp {
+                        for &site in face.iter() {
+                            let src =
+                                base + (layout.real_index(site as usize, comp) * esize) as u64;
+                            let mut buf = [0u8; 8];
+                            match esize {
+                                4 => buf[..4]
+                                    .copy_from_slice(&mem.read_f32(src).to_le_bytes()),
+                                _ => buf[..8]
+                                    .copy_from_slice(&mem.read_f64(src).to_le_bytes()),
+                            }
+                            payload.extend_from_slice(&buf[..esize]);
+                        }
+                    }
+                } else {
+                    payload.resize(payload.len() + iv_r * n_comp * esize, 0u8);
+                }
+                gather_bytes += iv_r * n_comp * esize;
+            }
+
+            // Account the gather kernel (one streaming pass over the face).
+            let gather_shape = qdp_gpu_sim::KernelShape {
+                threads: iv_r.max(1),
+                read_bytes_per_thread: gather_bytes / iv_r.max(1),
+                write_bytes_per_thread: gather_bytes / iv_r.max(1),
+                flops_per_thread: 0,
+                regs_per_thread: 24,
+                access_bytes: 4,
+                site_stride: 1,
+                double_precision: false,
+            };
+            device
+                .account_launch(&gather_shape, 128)
+                .map_err(CoreError::Launch)?;
+
+            // Staged transfer: device → host before MPI (paper §V).
+            if !self.cuda_aware {
+                device.advance_clock(device.transfer_time(payload.len()));
+            }
+            let now = device.now();
+            let t_after = self.handle.send(send_to, payload, now);
+            device.advance_clock_to(t_after);
+            pending.push(((mu, dir), recv_from, gather_bytes));
+        }
+
+        // Build the remote environment: receive buffers per (mu,dir,leaf).
+        let mut recv_bufs: HashMap<(usize, ShiftDir), Vec<DevicePtr>> = HashMap::new();
+        let mut allocations: Vec<DevicePtr> = Vec::new();
+        for &(mu, dir) in &split {
+            let iv_r = geom.face_vol(mu);
+            let used = expr.leaves_under_shift(mu, dir);
+            let mut bufs = Vec::with_capacity(leaves.len());
+            for leaf in &leaves {
+                if !used.iter().any(|r| r.id == leaf.id) {
+                    bufs.push(0); // never dereferenced: leaf not read under this shift
+                    continue;
+                }
+                let bytes = iv_r * leaf.shape().n_reals() * leaf.ft.size_bytes();
+                let p = device.alloc(bytes).map_err(|e| {
+                    CoreError::Msg(format!("receive buffer allocation failed: {e}"))
+                })?;
+                allocations.push(p);
+                bufs.push(p);
+            }
+            recv_bufs.insert((mu, dir), bufs);
+        }
+        let remote = RemoteEnv {
+            split_dims,
+            recv: recv_bufs.clone(),
+        };
+
+        let faces_for_inner: Vec<(usize, Dir)> =
+            split.iter().map(|&(mu, d)| (mu, to_dir(d))).collect();
+        let report;
+
+        let receive_all = |deadline_clock: &dyn Fn() -> f64| -> Result<(), CoreError> {
+            let _ = deadline_clock;
+            for &((mu, dir), recv_from, _bytes) in &pending {
+                let now = device.now();
+                let (data, arrival) = self.handle.recv(recv_from, now);
+                device.advance_clock_to(arrival);
+                if !self.cuda_aware {
+                    device.advance_clock(device.transfer_time(data.len()));
+                }
+                // scatter into the per-leaf receive buffers
+                if self.ctx.payload_execution() {
+                    let bufs = &recv_bufs[&(mu, dir)];
+                    let mut off = 0usize;
+                    for (li, leaf) in leaves.iter().enumerate() {
+                        if bufs[li] == 0 {
+                            continue; // leaf not communicated for this shift
+                        }
+                        let n =
+                            geom.face_vol(mu) * leaf.shape().n_reals() * leaf.ft.size_bytes();
+                        device.memory().copy_from_host(bufs[li], &data[off..off + n]);
+                        off += n;
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        if self.overlap {
+            // inner kernel while data is in flight
+            let key_inner = format!("inner{:?}", faces_for_inner);
+            let inner_sites = geom.inner_sites(&faces_for_inner);
+            let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites);
+            let inner_report = eval::eval_impl(
+                &self.ctx,
+                target,
+                expr,
+                SiteSel::List { ptr: ptr_i, len: len_i },
+                Some(&remote),
+            )?;
+            receive_all(&|| device.now())?;
+            // face kernel after arrival
+            let key_face = format!("face{:?}", faces_for_inner);
+            let face_sites = geom.face_union(&faces_for_inner);
+            let (ptr_f, len_f) = self.site_list(&key_face, &face_sites);
+            let face_report = eval::eval_impl(
+                &self.ctx,
+                target,
+                expr,
+                SiteSel::List { ptr: ptr_f, len: len_f },
+                Some(&remote),
+            )?;
+            report = EvalReport {
+                kernel_name: inner_report.kernel_name,
+                block_size: inner_report.block_size,
+                sim_time: device.now() - t_start,
+                threads: len_i + len_f,
+                bandwidth: inner_report.bandwidth,
+                flops_rate: face_report.flops_rate,
+            };
+        } else {
+            receive_all(&|| device.now())?;
+            let full = eval::eval_impl(
+                &self.ctx,
+                target,
+                expr,
+                SiteSel::Subset(Subset::All),
+                Some(&remote),
+            )?;
+            report = EvalReport {
+                sim_time: device.now() - t_start,
+                ..full
+            };
+        }
+
+        for p in allocations {
+            device.free(p);
+        }
+        Ok(report)
+    }
+
+    /// Global `‖expr‖²`: local reduction + all-reduce across ranks.
+    pub fn norm2(&self, expr: &Expr) -> Result<f64, CoreError> {
+        let local = eval::norm2(&self.ctx, expr, Subset::All)?;
+        let (sum, t) = self.handle.allreduce_sum(&[local], self.ctx.device().now());
+        self.ctx.device().advance_clock_to(t);
+        Ok(sum[0])
+    }
+
+    /// Global `⟨a, b⟩`.
+    pub fn inner_product(&self, a: &Expr, b: &Expr) -> Result<(f64, f64), CoreError> {
+        let (re, im) = eval::inner_product(&self.ctx, a, b, Subset::All)?;
+        let (sum, t) = self
+            .handle
+            .allreduce_sum(&[re, im], self.ctx.device().now());
+        self.ctx.device().advance_clock_to(t);
+        Ok((sum[0], sum[1]))
+    }
+
+    /// Global `Σ expr` for a real expression.
+    pub fn sum_real(&self, expr: &Expr) -> Result<f64, CoreError> {
+        let local = eval::sum_real(&self.ctx, expr, Subset::All)?;
+        let (sum, t) = self.handle.allreduce_sum(&[local], self.ctx.device().now());
+        self.ctx.device().advance_clock_to(t);
+        Ok(sum[0])
+    }
+}

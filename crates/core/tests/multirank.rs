@@ -1,0 +1,246 @@
+//! Multi-rank validation: halo exchange must reproduce the single-rank
+//! (global-lattice) result exactly, with and without overlap (§V).
+
+use qdp_core::multinode::MultiRank;
+use qdp_core::prelude::*;
+use qdp_core::{adj, shift};
+use qdp_expr::Expr;
+use qdp_layout::Decomposition;
+use qdp_types::su3::random_su3;
+use qdp_types::{ColorMatrix, Complex, Fermion, PScalar, PVector};
+use std::sync::Arc;
+
+/// Deterministic site elements from global coordinates, so every rank and
+/// the single-rank reference build identical global fields.
+fn cm_at(c: [usize; 4]) -> ColorMatrix<f64> {
+    let seed = (c[0] * 1009 + c[1] * 101 + c[2] * 13 + c[3] * 7 + 5) as u64;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    PScalar(random_su3::<f64>(&mut rng))
+}
+
+fn fermion_at(c: [usize; 4]) -> Fermion<f64> {
+    PVector::from_fn(|s| {
+        PVector::from_fn(|col| {
+            Complex::new(
+                (c[0] + 2 * c[1] + 3 * c[2] + 4 * c[3] + s) as f64 + 0.25,
+                (s * 3 + col) as f64 - 1.5 * c[0] as f64,
+            )
+        })
+    })
+}
+
+/// The Fig. 1 covariant derivative along mu.
+fn derivative(
+    u: &LatticeColorMatrix<f64>,
+    psi: &LatticeFermion<f64>,
+    mu: usize,
+) -> QExpr<Fermion<f64>> {
+    u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+        + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward)
+}
+
+fn run_two_ranks(overlap: bool, cuda_aware: bool) -> (Vec<Fermion<f64>>, f64) {
+    let global = [8usize, 4, 4, 4];
+    let decomp = Decomposition::new(global, [2, 1, 1, 1]);
+    let results = qdp_comm::run_cluster(
+        2,
+        qdp_comm::LinkModel::infiniband_qdr(),
+        move |handle| {
+            let decomp = Decomposition::new(global, [2, 1, 1, 1]);
+            let rank = handle.rank;
+            let ctx = QdpContext::new(
+                DeviceConfig::k20m_ecc_on(),
+                decomp.local_geometry(),
+                LayoutKind::SoA,
+            );
+            let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, cuda_aware, overlap);
+            let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |s| {
+                cm_at(decomp.global_coord(rank, s))
+            });
+            let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| {
+                fermion_at(decomp.global_coord(rank, s))
+            });
+            let out = LatticeFermion::<f64>::new(&ctx);
+            // shift along the split dimension AND an unsplit one
+            let e = derivative(&u, &psi, 0) + derivative(&u, &psi, 2);
+            mr.eval(out.fref(), &e.0).unwrap();
+            (out.to_vec(), ctx.device().now())
+        },
+    );
+    // reassemble the global field in global lexicographic order
+    let gg = Geometry::new(global);
+    let lg = decomp.local_geometry();
+    let mut out = vec![Fermion::<f64>::default(); gg.vol()];
+    for (rank, (local, _)) in results.iter().enumerate() {
+        for (s, v) in local.iter().enumerate() {
+            let c = decomp.global_coord(rank, s);
+            out[gg.index_of(c)] = *v;
+        }
+    }
+    let max_clock = results
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(0.0f64, f64::max);
+    let _ = lg;
+    (out, max_clock)
+}
+
+fn single_rank_reference() -> Vec<Fermion<f64>> {
+    let global = [8usize, 4, 4, 4];
+    let ctx = QdpContext::new(
+        DeviceConfig::k20m_ecc_on(),
+        Geometry::new(global),
+        LayoutKind::SoA,
+    );
+    let g = ctx.geometry().clone();
+    let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |s| cm_at(g.coord_of(s)));
+    let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| fermion_at(g.coord_of(s)));
+    let out = LatticeFermion::<f64>::new(&ctx);
+    let e = derivative(&u, &psi, 0) + derivative(&u, &psi, 2);
+    out.assign(e).unwrap();
+    out.to_vec()
+}
+
+fn assert_same(a: &[Fermion<f64>], b: &[Fermion<f64>], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        for s in 0..4 {
+            for c in 0..3 {
+                assert_eq!(x.0[s].0[c], y.0[s].0[c], "{what}: global site {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn two_rank_overlap_matches_single_rank() {
+    let reference = single_rank_reference();
+    let (overlap, _) = run_two_ranks(true, true);
+    assert_same(&overlap, &reference, "overlap");
+}
+
+#[test]
+fn two_rank_nonoverlap_matches_single_rank() {
+    let reference = single_rank_reference();
+    let (plain, _) = run_two_ranks(false, true);
+    assert_same(&plain, &reference, "non-overlap");
+}
+
+#[test]
+fn staged_transfers_match_and_cost_more() {
+    let (aware, t_aware) = run_two_ranks(true, true);
+    let (staged, t_staged) = run_two_ranks(true, false);
+    assert_same(&aware, &staged, "staged vs cuda-aware");
+    assert!(
+        t_staged > t_aware,
+        "staging through the host must cost simulated time: {t_staged} vs {t_aware}"
+    );
+}
+
+#[test]
+fn global_norm2_matches_single_rank() {
+    let global = [8usize, 4, 4, 4];
+    let single = {
+        let ctx = QdpContext::new(
+            DeviceConfig::k20m_ecc_on(),
+            Geometry::new(global),
+            LayoutKind::SoA,
+        );
+        let g = ctx.geometry().clone();
+        let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| fermion_at(g.coord_of(s)));
+        psi.norm2().unwrap()
+    };
+    let results = qdp_comm::run_cluster(
+        2,
+        qdp_comm::LinkModel::infiniband_qdr(),
+        move |handle| {
+            let decomp = Decomposition::new(global, [2, 1, 1, 1]);
+            let rank = handle.rank;
+            let ctx = QdpContext::new(
+                DeviceConfig::k20m_ecc_on(),
+                decomp.local_geometry(),
+                LayoutKind::SoA,
+            );
+            let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, true, true);
+            let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| {
+                fermion_at(decomp.global_coord(rank, s))
+            });
+            mr.norm2(&psi.q().0).unwrap()
+        },
+    );
+    for r in &results {
+        assert!(
+            (r - single).abs() / single < 1e-12,
+            "rank result {r} vs global {single}"
+        );
+    }
+}
+
+#[test]
+fn nested_shift_across_boundary_is_materialised() {
+    // shift(shift(psi)) along the split dimension — exercised via
+    // temporaries (§V: inner shifts execute non-overlapping).
+    let global = [8usize, 4, 4, 4];
+    let reference = {
+        let ctx = QdpContext::new(
+            DeviceConfig::k20m_ecc_on(),
+            Geometry::new(global),
+            LayoutKind::SoA,
+        );
+        let g = ctx.geometry().clone();
+        let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| fermion_at(g.coord_of(s)));
+        let out = LatticeFermion::<f64>::new(&ctx);
+        out.assign(shift(
+            shift(psi.q(), 0, ShiftDir::Forward),
+            0,
+            ShiftDir::Forward,
+        ))
+        .unwrap();
+        out.to_vec()
+    };
+    let results = qdp_comm::run_cluster(
+        2,
+        qdp_comm::LinkModel::infiniband_qdr(),
+        move |handle| {
+            let decomp = Decomposition::new(global, [2, 1, 1, 1]);
+            let rank = handle.rank;
+            let ctx = QdpContext::new(
+                DeviceConfig::k20m_ecc_on(),
+                decomp.local_geometry(),
+                LayoutKind::SoA,
+            );
+            let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, true, true);
+            let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| {
+                fermion_at(decomp.global_coord(rank, s))
+            });
+            let out = LatticeFermion::<f64>::new(&ctx);
+            let e = Expr::Shift {
+                mu: 0,
+                dir: qdp_expr::ShiftDir::Forward,
+                child: Box::new(Expr::Shift {
+                    mu: 0,
+                    dir: qdp_expr::ShiftDir::Forward,
+                    child: Box::new(psi.q().0),
+                }),
+            };
+            mr.eval(out.fref(), &e).unwrap();
+            (rank, out.to_vec())
+        },
+    );
+    let decomp = Decomposition::new(global, [2, 1, 1, 1]);
+    let gg = Geometry::new(global);
+    for (rank, local) in &results {
+        for (s, v) in local.iter().enumerate() {
+            let gidx = gg.index_of(decomp.global_coord(*rank, s));
+            let expect = &reference[gidx];
+            for sp in 0..4 {
+                for c in 0..3 {
+                    assert_eq!(
+                        v.0[sp].0[c], expect.0[sp].0[c],
+                        "rank {rank} local site {s}"
+                    );
+                }
+            }
+        }
+    }
+}

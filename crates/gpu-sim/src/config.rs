@@ -1,0 +1,145 @@
+//! Device configurations: published machine parameters of the GPUs used in
+//! the paper's evaluation (§VIII-A) plus the knobs of the timing model.
+
+/// Machine parameters of a simulated device.
+///
+/// The defaults are the GK110 (Kepler) numbers the paper quotes: K20x has
+/// 1.3 TFlops DP peak and 250 GB/s peak memory bandwidth with ECC disabled;
+/// the kernels sustain 79 % of peak (§VIII-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Global memory capacity in bytes.
+    pub memory_bytes: usize,
+    /// Number of streaming multiprocessors.
+    pub n_sm: usize,
+    /// Peak memory bandwidth in bytes/s.
+    pub peak_bandwidth: f64,
+    /// Fraction of peak bandwidth a perfectly coalesced streaming kernel
+    /// can sustain (the paper measures 0.79 on K20x).
+    pub sustained_fraction: f64,
+    /// Peak double-precision flop rate (flops/s).
+    pub peak_flops_dp: f64,
+    /// Peak single-precision flop rate (flops/s).
+    pub peak_flops_sp: f64,
+    /// Maximum threads per block (2^10 on Kepler, §VII).
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Global-memory latency in seconds (Little's-law latency hiding).
+    pub mem_latency: f64,
+    /// Average concurrent outstanding memory accesses per thread.
+    pub mem_level_parallelism: f64,
+    /// Host↔device (PCIe) bandwidth in bytes/s.
+    pub pcie_bandwidth: f64,
+    /// Host↔device transfer latency in seconds.
+    pub pcie_latency: f64,
+}
+
+impl DeviceConfig {
+    /// Tesla K20x with ECC disabled — the single-GPU benchmark device
+    /// (Figures 4 and 5).
+    pub fn k20x_ecc_off() -> DeviceConfig {
+        DeviceConfig {
+            name: "Tesla K20x (ECC off)".into(),
+            memory_bytes: 6 * 1024 * 1024 * 1024,
+            n_sm: 14,
+            peak_bandwidth: 250.0e9,
+            sustained_fraction: 0.79,
+            peak_flops_dp: 1.31e12,
+            peak_flops_sp: 3.95e12,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 65536,
+            launch_overhead: 5.0e-6,
+            mem_latency: 5.0e-7,
+            mem_level_parallelism: 2.0,
+            pcie_bandwidth: 6.0e9,
+            pcie_latency: 1.0e-5,
+        }
+    }
+
+    /// Tesla K20m with ECC enabled — the 2-GPU overlap benchmark device
+    /// (Figure 6). ECC costs ~25 % of bandwidth on GDDR5 Kepler boards.
+    pub fn k20m_ecc_on() -> DeviceConfig {
+        DeviceConfig {
+            name: "Tesla K20m (ECC on)".into(),
+            memory_bytes: 5 * 1024 * 1024 * 1024,
+            n_sm: 13,
+            peak_bandwidth: 208.0e9,
+            sustained_fraction: 0.75,
+            peak_flops_dp: 1.17e12,
+            peak_flops_sp: 3.52e12,
+            ..DeviceConfig::k20x_ecc_off()
+        }
+    }
+
+    /// The XK-node GK110 accelerator of Blue Waters / Titan (Figures 7, 8) —
+    /// a K20x running with ECC enabled as deployed on those systems.
+    pub fn xk_node_gpu() -> DeviceConfig {
+        DeviceConfig {
+            name: "XK node GK110 (ECC on)".into(),
+            peak_bandwidth: 200.0e9,
+            sustained_fraction: 0.75,
+            ..DeviceConfig::k20x_ecc_off()
+        }
+    }
+
+    /// A tiny device for cache-spill tests: everything works, but only a few
+    /// fields fit in memory.
+    pub fn tiny(memory_bytes: usize) -> DeviceConfig {
+        DeviceConfig {
+            name: format!("tiny ({memory_bytes} B)"),
+            memory_bytes,
+            ..DeviceConfig::k20x_ecc_off()
+        }
+    }
+
+    /// Peak flop rate for a precision.
+    pub fn peak_flops(&self, double_precision: bool) -> f64 {
+        if double_precision {
+            self.peak_flops_dp
+        } else {
+            self.peak_flops_sp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20x_matches_paper_numbers() {
+        let c = DeviceConfig::k20x_ecc_off();
+        assert_eq!(c.peak_bandwidth, 250.0e9);
+        assert_eq!(c.peak_flops_dp, 1.31e12);
+        assert_eq!(c.sustained_fraction, 0.79);
+        assert_eq!(c.max_threads_per_block, 1024);
+        assert_eq!(c.n_sm, 14);
+    }
+
+    #[test]
+    fn variants_differ_sensibly() {
+        let x = DeviceConfig::k20x_ecc_off();
+        let m = DeviceConfig::k20m_ecc_on();
+        assert!(m.peak_bandwidth < x.peak_bandwidth);
+        assert!(m.peak_flops_dp < x.peak_flops_dp);
+        assert_eq!(x.peak_flops(true), x.peak_flops_dp);
+        assert_eq!(x.peak_flops(false), x.peak_flops_sp);
+    }
+
+    #[test]
+    fn tiny_device() {
+        let t = DeviceConfig::tiny(4096);
+        assert_eq!(t.memory_bytes, 4096);
+    }
+}

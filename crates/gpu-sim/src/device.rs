@@ -1,0 +1,217 @@
+//! The simulated device: memory + clock + transfer engine + statistics.
+
+use crate::config::DeviceConfig;
+use crate::memory::{DeviceMemory, DevicePtr};
+use crate::perf::{launch_timing, KernelShape, LaunchError, LaunchTiming};
+use crate::DeviceError;
+use parking_lot::Mutex;
+
+/// Cumulative device statistics (reported by benchmark harnesses and the
+/// cache ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Host→device transfers.
+    pub h2d_copies: u64,
+    /// Device→host transfers.
+    pub d2h_copies: u64,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Simulated seconds spent in kernels.
+    pub kernel_time: f64,
+    /// Simulated seconds spent in PCIe transfers.
+    pub transfer_time: f64,
+}
+
+/// A simulated CUDA device.
+pub struct Device {
+    cfg: DeviceConfig,
+    mem: DeviceMemory,
+    clock: Mutex<f64>,
+    stats: Mutex<DeviceStats>,
+}
+
+impl Device {
+    /// Bring up a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Device {
+        let mem = DeviceMemory::new(cfg.memory_bytes);
+        Device {
+            cfg,
+            mem,
+            clock: Mutex::new(0.0),
+            stats: Mutex::new(DeviceStats::default()),
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// The global memory arena.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    /// Advance the simulated clock by `dt` seconds and return the new time.
+    pub fn advance_clock(&self, dt: f64) -> f64 {
+        let mut c = self.clock.lock();
+        *c += dt.max(0.0);
+        *c
+    }
+
+    /// Advance the clock to at least `t` (stream-join semantics).
+    pub fn advance_clock_to(&self, t: f64) -> f64 {
+        let mut c = self.clock.lock();
+        if t > *c {
+            *c = t;
+        }
+        *c
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> DeviceStats {
+        *self.stats.lock()
+    }
+
+    /// Allocate device memory.
+    pub fn alloc(&self, bytes: usize) -> Result<DevicePtr, DeviceError> {
+        self.mem.alloc(bytes)
+    }
+
+    /// Free device memory.
+    pub fn free(&self, ptr: DevicePtr) {
+        self.mem.freemem(ptr)
+    }
+
+    /// PCIe transfer cost for `bytes`.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.cfg.pcie_latency + bytes as f64 / self.cfg.pcie_bandwidth
+    }
+
+    /// Copy host → device, advancing the clock by the PCIe model.
+    pub fn h2d(&self, dst: DevicePtr, src: &[u8]) -> f64 {
+        self.mem.copy_from_host(dst, src);
+        let dt = self.transfer_time(src.len());
+        {
+            let mut s = self.stats.lock();
+            s.h2d_copies += 1;
+            s.h2d_bytes += src.len() as u64;
+            s.transfer_time += dt;
+        }
+        self.advance_clock(dt)
+    }
+
+    /// Copy device → host, advancing the clock by the PCIe model.
+    pub fn d2h(&self, src: DevicePtr, dst: &mut [u8]) -> f64 {
+        self.mem.copy_to_host(src, dst);
+        let dt = self.transfer_time(dst.len());
+        {
+            let mut s = self.stats.lock();
+            s.d2h_copies += 1;
+            s.d2h_bytes += dst.len() as u64;
+            s.transfer_time += dt;
+        }
+        self.advance_clock(dt)
+    }
+
+    /// Account a kernel launch: computes the simulated execution time for
+    /// `shape` at `block_size`, advances the clock, updates statistics.
+    /// The *functional* execution is performed by the JIT crate; this is the
+    /// timing half.
+    pub fn account_launch(
+        &self,
+        shape: &KernelShape,
+        block_size: u32,
+    ) -> Result<LaunchTiming, LaunchError> {
+        let t = launch_timing(&self.cfg, shape, block_size)?;
+        {
+            let mut s = self.stats.lock();
+            s.launches += 1;
+            s.kernel_time += t.time;
+        }
+        self.advance_clock(t.time);
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let d = Device::new(DeviceConfig::tiny(1 << 20));
+        assert_eq!(d.now(), 0.0);
+        let t1 = d.advance_clock(1e-3);
+        let t2 = d.advance_clock(0.0);
+        assert_eq!(t1, t2);
+        let t3 = d.advance_clock_to(0.5e-3); // in the past: no-op
+        assert_eq!(t3, t1);
+        let t4 = d.advance_clock_to(2e-3);
+        assert_eq!(t4, 2e-3);
+    }
+
+    #[test]
+    fn transfers_move_data_and_time() {
+        let d = Device::new(DeviceConfig::tiny(1 << 20));
+        let p = d.alloc(1024).unwrap();
+        let data = vec![7u8; 1024];
+        let t_after = d.h2d(p, &data);
+        assert!(t_after > 0.0);
+        let mut back = vec![0u8; 1024];
+        d.d2h(p, &mut back);
+        assert_eq!(back, data);
+        let s = d.stats();
+        assert_eq!(s.h2d_copies, 1);
+        assert_eq!(s.d2h_copies, 1);
+        assert_eq!(s.h2d_bytes, 1024);
+        assert!(s.transfer_time > 0.0);
+    }
+
+    #[test]
+    fn launch_accounting() {
+        let d = Device::new(DeviceConfig::k20x_ecc_off());
+        let shape = KernelShape {
+            threads: 4096,
+            read_bytes_per_thread: 96,
+            write_bytes_per_thread: 96,
+            flops_per_thread: 100,
+            regs_per_thread: 32,
+            access_bytes: 4,
+            site_stride: 1,
+            double_precision: false,
+        };
+        let before = d.now();
+        let t = d.account_launch(&shape, 128).unwrap();
+        assert!(d.now() > before);
+        assert!(t.time > 0.0);
+        assert_eq!(d.stats().launches, 1);
+    }
+
+    #[test]
+    fn launch_failure_does_not_advance_clock() {
+        let d = Device::new(DeviceConfig::k20x_ecc_off());
+        let shape = KernelShape {
+            threads: 4096,
+            read_bytes_per_thread: 96,
+            write_bytes_per_thread: 96,
+            flops_per_thread: 100,
+            regs_per_thread: 128,
+            access_bytes: 8,
+            site_stride: 1,
+            double_precision: true,
+        };
+        assert!(d.account_launch(&shape, 1024).is_err());
+        assert_eq!(d.now(), 0.0);
+        assert_eq!(d.stats().launches, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-kernel thread-block auto-tuning (paper §VII).
+//!
+//! The strategy, verbatim from the paper: *"First we try to launch a given
+//! kernel with the maximum thread block size allowed for the GPU in
+//! question (we use 1-dimensional blocks, thus 2¹⁰ for Kepler) and, if that
+//! fails, re-try, having reduced the thread block size by a factor of 2
+//! until the launch succeeds. Once successfully launched, consecutive
+//! launches 'probe' smaller block sizes until the execution time increases
+//! significantly (arbitrarily we use 33%). The 'best configuration' would
+//! then be used for all consecutive launches."*
+//!
+//! Crucially, *"no kernels are launched solely for the purpose of tuning;
+//! kernel tuning is carried out on the payload compute launches"* — the
+//! tuner only chooses block sizes for launches that would happen anyway.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Smallest block size worth probing (one warp).
+pub const MIN_BLOCK: u32 = 32;
+
+/// Relative slowdown at which probing stops (the paper's 33 %).
+pub const SLOWDOWN_THRESHOLD: f64 = 1.33;
+
+/// Tuning state of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneState {
+    /// Block size the next launch should use.
+    pub current: u32,
+    /// Best configuration so far `(block, time)`.
+    pub best: Option<(u32, f64)>,
+    /// Probing finished; `current` is the winner.
+    pub settled: bool,
+    /// Number of launch failures observed (resource exhaustion).
+    pub launch_failures: u32,
+    /// Number of payload launches used as probes.
+    pub probes: u32,
+}
+
+impl TuneState {
+    fn new(max_block: u32) -> TuneState {
+        TuneState {
+            current: max_block,
+            best: None,
+            settled: false,
+            launch_failures: 0,
+            probes: 0,
+        }
+    }
+}
+
+/// The auto-tuner: a map from kernel name to tuning state.
+#[derive(Default)]
+pub struct AutoTuner {
+    states: Mutex<HashMap<String, TuneState>>,
+    max_block: u32,
+}
+
+impl AutoTuner {
+    /// Create a tuner for a device whose maximum block size is `max_block`.
+    pub fn new(max_block: u32) -> AutoTuner {
+        AutoTuner {
+            states: Mutex::new(HashMap::new()),
+            max_block,
+        }
+    }
+
+    /// Block size the next (payload) launch of `kernel` should use.
+    pub fn block_for(&self, kernel: &str) -> u32 {
+        let mut st = self.states.lock();
+        st.entry(kernel.to_string())
+            .or_insert_with(|| TuneState::new(self.max_block))
+            .current
+    }
+
+    /// The launch at the current block size failed (resource exhaustion):
+    /// halve and retry. Returns the new block size, or `None` when the
+    /// kernel cannot launch even with the minimum block.
+    pub fn launch_failed(&self, kernel: &str) -> Option<u32> {
+        let mut st = self.states.lock();
+        let s = st
+            .entry(kernel.to_string())
+            .or_insert_with(|| TuneState::new(self.max_block));
+        s.launch_failures += 1;
+        if s.current <= MIN_BLOCK {
+            return None;
+        }
+        s.current /= 2;
+        Some(s.current)
+    }
+
+    /// Report the measured execution time of a successful payload launch.
+    pub fn report(&self, kernel: &str, block: u32, time: f64) {
+        let mut st = self.states.lock();
+        let s = st
+            .entry(kernel.to_string())
+            .or_insert_with(|| TuneState::new(self.max_block));
+        if s.settled {
+            return;
+        }
+        s.probes += 1;
+        match s.best {
+            None => {
+                s.best = Some((block, time));
+                // begin probing downward
+                if block > MIN_BLOCK {
+                    s.current = block / 2;
+                } else {
+                    s.settled = true;
+                }
+            }
+            Some((best_block, best_time)) => {
+                if time < best_time {
+                    s.best = Some((block, time));
+                }
+                if time > best_time * SLOWDOWN_THRESHOLD || block <= MIN_BLOCK {
+                    // significant slowdown (or bottomed out): settle on best
+                    let (b, _) = s.best.unwrap();
+                    s.current = b;
+                    s.settled = true;
+                } else {
+                    let _ = best_block;
+                    s.current = block / 2;
+                }
+            }
+        }
+    }
+
+    /// Is tuning finished for this kernel?
+    pub fn is_settled(&self, kernel: &str) -> bool {
+        self.states
+            .lock()
+            .get(kernel)
+            .map(|s| s.settled)
+            .unwrap_or(false)
+    }
+
+    /// Snapshot of one kernel's tuning state.
+    pub fn state(&self, kernel: &str) -> Option<TuneState> {
+        self.states.lock().get(kernel).cloned()
+    }
+
+    /// Number of kernels with tuning state.
+    pub fn len(&self) -> usize {
+        self.states.lock().len()
+    }
+
+    /// Is the tuner empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic execution-time curve with a minimum at 128 threads.
+    fn fake_time(block: u32) -> f64 {
+        match block {
+            1024 => 1.10e-3,
+            512 => 1.05e-3,
+            256 => 1.02e-3,
+            128 => 1.00e-3,
+            64 => 1.25e-3,
+            32 => 2.00e-3,
+            _ => 5.0e-3,
+        }
+    }
+
+    #[test]
+    fn finds_the_minimum_and_settles() {
+        let tuner = AutoTuner::new(1024);
+        // Drive payload launches until settled.
+        let mut launches = 0;
+        while !tuner.is_settled("k") {
+            let b = tuner.block_for("k");
+            tuner.report("k", b, fake_time(b));
+            launches += 1;
+            assert!(launches < 20, "tuner did not settle");
+        }
+        // 64 is 25% slower than 128 (not "significant"); 32 is 2x slower →
+        // probing stops there and the best (128) wins.
+        assert_eq!(tuner.block_for("k"), 128);
+        let st = tuner.state("k").unwrap();
+        assert_eq!(st.best.unwrap().0, 128);
+        // every probe was a payload launch; no extra launches
+        assert_eq!(st.probes, launches);
+    }
+
+    #[test]
+    fn launch_failure_halves_until_fit() {
+        let tuner = AutoTuner::new(1024);
+        assert_eq!(tuner.block_for("big"), 1024);
+        assert_eq!(tuner.launch_failed("big"), Some(512));
+        assert_eq!(tuner.launch_failed("big"), Some(256));
+        assert_eq!(tuner.block_for("big"), 256);
+        let st = tuner.state("big").unwrap();
+        assert_eq!(st.launch_failures, 2);
+    }
+
+    #[test]
+    fn unlaunchable_kernel_reports_none() {
+        let tuner = AutoTuner::new(64);
+        assert_eq!(tuner.launch_failed("k"), Some(32));
+        assert_eq!(tuner.launch_failed("k"), None);
+    }
+
+    #[test]
+    fn settled_kernel_ignores_reports() {
+        let tuner = AutoTuner::new(128);
+        while !tuner.is_settled("k") {
+            let b = tuner.block_for("k");
+            tuner.report("k", b, fake_time(b));
+        }
+        let before = tuner.state("k").unwrap();
+        tuner.report("k", 32, 1e-9); // bogus report after settling
+        assert_eq!(tuner.state("k").unwrap(), before);
+    }
+
+    #[test]
+    fn kernels_tune_independently() {
+        let tuner = AutoTuner::new(1024);
+        tuner.report("a", 1024, 1.0);
+        assert_eq!(tuner.block_for("a"), 512);
+        assert_eq!(tuner.block_for("b"), 1024);
+        assert_eq!(tuner.len(), 2);
+    }
+}

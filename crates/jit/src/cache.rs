@@ -1,0 +1,155 @@
+//! The compiled-kernel cache.
+//!
+//! Each distinct PTX program is JIT-translated once per process — exactly
+//! the behaviour the paper relies on when it estimates the translation
+//! overhead of an HMC trajectory as "number of distinct kernels × 0.05–0.22
+//! seconds" (§III-D, §VIII-D). The cache key is a hash of the PTX text.
+
+use crate::lower::{compile_ptx, CompiledKernel, JitError};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCacheStats {
+    /// Number of cache hits (kernel already translated).
+    pub hits: u64,
+    /// Number of misses (fresh JIT translations).
+    pub misses: u64,
+    /// Wall-clock seconds spent in translation (parse + lower).
+    pub wall_compile_time: f64,
+    /// *Modelled* translation seconds — the paper's 0.05–0.22 s per kernel
+    /// figure, scaled by program size. Benchmark harnesses report this.
+    pub modeled_compile_time: f64,
+}
+
+/// Modelled JIT translation time for one kernel: the paper measures
+/// 0.05–0.22 s depending on kernel complexity; we interpolate on the
+/// instruction count (their kernels range from tens to a few thousand PTX
+/// instructions).
+pub fn modeled_compile_time(n_instructions: usize) -> f64 {
+    let t = 0.05 + 0.17 * (n_instructions as f64 / 3000.0);
+    t.min(0.22)
+}
+
+/// A cache of JIT-translated kernels keyed on PTX text.
+#[derive(Default)]
+pub struct KernelCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Arc<CompiledKernel>>,
+    stats: KernelCacheStats,
+}
+
+impl KernelCache {
+    /// Create an empty cache.
+    pub fn new() -> KernelCache {
+        KernelCache::default()
+    }
+
+    /// Translate (or fetch) the single kernel in `ptx_text`.
+    ///
+    /// The text must contain exactly one `.entry` — the code generator
+    /// emits one module per expression, like the paper's.
+    pub fn get_or_compile(&self, ptx_text: &str) -> Result<Arc<CompiledKernel>, JitError> {
+        let mut h = DefaultHasher::new();
+        ptx_text.hash(&mut h);
+        let key = h.finish();
+
+        let mut inner = self.inner.lock();
+        if let Some(k) = inner.map.get(&key).cloned() {
+            inner.stats.hits += 1;
+            return Ok(k);
+        }
+        let t0 = Instant::now();
+        let mut kernels = compile_ptx(ptx_text)?;
+        let wall = t0.elapsed().as_secs_f64();
+        if kernels.len() != 1 {
+            return Err(JitError::Lower(format!(
+                "expected exactly one kernel per module, got {}",
+                kernels.len()
+            )));
+        }
+        let kernel = Arc::new(kernels.remove(0));
+        inner.stats.misses += 1;
+        inner.stats.wall_compile_time += wall;
+        inner.stats.modeled_compile_time += modeled_compile_time(kernel.code.len());
+        inner.map.insert(key, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Number of distinct kernels translated so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> KernelCacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_ptx::emit::emit_module;
+    use qdp_ptx::module::{KernelBuilder, Module};
+    use qdp_ptx::types::PtxType;
+
+    fn tiny_ptx(name: &str) -> String {
+        let mut b = KernelBuilder::new(name);
+        b.param("n", PtxType::U32);
+        emit_module(&Module::with_kernel(b.finish()))
+    }
+
+    #[test]
+    fn compile_once_hit_afterwards() {
+        let cache = KernelCache::new();
+        let text = tiny_ptx("k1");
+        let a = cache.get_or_compile(&text).unwrap();
+        let b = cache.get_or_compile(&text).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_kernels_distinct_entries() {
+        let cache = KernelCache::new();
+        cache.get_or_compile(&tiny_ptx("k1")).unwrap();
+        cache.get_or_compile(&tiny_ptx("k2")).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn modeled_time_in_paper_range() {
+        // Small and large kernels stay inside the measured 0.05–0.22 s band.
+        assert!(modeled_compile_time(10) >= 0.05);
+        assert!(modeled_compile_time(10) < 0.06);
+        assert!(modeled_compile_time(100_000) <= 0.22);
+        let mid = modeled_compile_time(1500);
+        assert!((0.05..=0.22).contains(&mid));
+    }
+
+    #[test]
+    fn bad_ptx_is_an_error_not_a_cache_entry() {
+        let cache = KernelCache::new();
+        assert!(cache.get_or_compile("nonsense").is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,663 @@
+//! Functional execution of compiled kernels over a thread grid.
+//!
+//! Thread blocks run in parallel on the host thread pool (blocks map to SMs
+//! on real hardware); threads within a block run sequentially, which is
+//! legal for the generated streaming kernels — they have "no thread block
+//! communication" (paper §VII). All arithmetic follows PTX semantics for
+//! the emitted subset (IEEE-754, wrapping integer ops).
+
+use crate::lower::{AVal, COp, CompiledKernel};
+use qdp_gpu_sim::DeviceMemory;
+use qdp_ptx::inst::{BinOp, CmpOp, SpecialReg, UnOp};
+use qdp_ptx::types::PtxType;
+use rayon::prelude::*;
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaunchArg {
+    /// Device pointer (byte address into the arena).
+    Ptr(u64),
+    /// 32-bit unsigned.
+    U32(u32),
+    /// 64-bit unsigned.
+    U64(u64),
+    /// 32-bit signed.
+    S32(i32),
+    /// Single-precision float.
+    F32(f32),
+    /// Double-precision float.
+    F64(f64),
+}
+
+impl LaunchArg {
+    /// Raw bit pattern as stored in a register slot.
+    pub fn bits(self) -> u64 {
+        match self {
+            LaunchArg::Ptr(p) => p,
+            LaunchArg::U32(v) => v as u64,
+            LaunchArg::U64(v) => v,
+            LaunchArg::S32(v) => v as i64 as u64,
+            LaunchArg::F32(v) => v.to_bits() as u64,
+            LaunchArg::F64(v) => v.to_bits(),
+        }
+    }
+}
+
+#[inline]
+fn get(regs: &[u64], v: AVal) -> u64 {
+    match v {
+        AVal::Slot(s) => regs[s as usize],
+        AVal::Imm(bits) => bits,
+    }
+}
+
+#[inline]
+fn f32_of(bits: u64) -> f32 {
+    f32::from_bits(bits as u32)
+}
+
+#[inline]
+fn f64_of(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[inline]
+fn bin_f32(op: BinOp, a: f32, b: f32) -> f32 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => panic!("illegal float op {op:?}"),
+    }
+}
+
+#[inline]
+fn bin_f64(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => panic!("illegal float op {op:?}"),
+    }
+}
+
+#[inline]
+fn bin_int(op: BinOp, ty: PtxType, a: u64, b: u64) -> u64 {
+    // Compute in 64-bit with the right signedness, then mask to width.
+    let signed = matches!(ty, PtxType::S32 | PtxType::S64);
+    let w32 = ty.size_bytes() == 4;
+    let (sa, sb) = if w32 {
+        ((a as u32 as i32) as i64, (b as u32 as i32) as i64)
+    } else {
+        (a as i64, b as i64)
+    };
+    let (ua, ub) = if w32 {
+        ((a as u32) as u64, (b as u32) as u64)
+    } else {
+        (a, b)
+    };
+    let r: u64 = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        BinOp::Div => {
+            if signed {
+                sa.wrapping_div(sb) as u64
+            } else {
+                ua / ub
+            }
+        }
+        BinOp::Rem => {
+            if signed {
+                sa.wrapping_rem(sb) as u64
+            } else {
+                ua % ub
+            }
+        }
+        BinOp::Min => {
+            if signed {
+                sa.min(sb) as u64
+            } else {
+                ua.min(ub)
+            }
+        }
+        BinOp::Max => {
+            if signed {
+                sa.max(sb) as u64
+            } else {
+                ua.max(ub)
+            }
+        }
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+        BinOp::Shl => {
+            let sh = (ub & 63) as u32;
+            ua.wrapping_shl(sh)
+        }
+        BinOp::Shr => {
+            let sh = (ub & 63) as u32;
+            if signed {
+                (sa >> sh.min(63)) as u64
+            } else {
+                ua >> sh.min(63)
+            }
+        }
+    };
+    if w32 {
+        r & 0xFFFF_FFFF
+    } else {
+        r
+    }
+}
+
+#[inline]
+fn cmp_values(cmp: CmpOp, ty: PtxType, a: u64, b: u64) -> bool {
+    use std::cmp::Ordering;
+    let ord = match ty {
+        PtxType::F32 => f32_of(a).partial_cmp(&f32_of(b)),
+        PtxType::F64 => f64_of(a).partial_cmp(&f64_of(b)),
+        PtxType::S32 => (a as u32 as i32).partial_cmp(&(b as u32 as i32)),
+        PtxType::S64 => (a as i64).partial_cmp(&(b as i64)),
+        PtxType::U32 => (a as u32).partial_cmp(&(b as u32)),
+        PtxType::U64 | PtxType::Pred => a.partial_cmp(&b),
+    };
+    match (cmp, ord) {
+        (_, None) => false, // unordered (NaN) compares false for these ops
+        (CmpOp::Eq, Some(o)) => o == Ordering::Equal,
+        (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+        (CmpOp::Lt, Some(o)) => o == Ordering::Less,
+        (CmpOp::Le, Some(o)) => o != Ordering::Greater,
+        (CmpOp::Gt, Some(o)) => o == Ordering::Greater,
+        (CmpOp::Ge, Some(o)) => o != Ordering::Less,
+    }
+}
+
+#[inline]
+fn convert(dst_ty: PtxType, src_ty: PtxType, bits: u64) -> u64 {
+    // Decode the source value to a canonical form, then encode.
+    let as_f64: f64;
+    let as_i64: i64;
+    match src_ty {
+        PtxType::F32 => {
+            as_f64 = f32_of(bits) as f64;
+            as_i64 = as_f64 as i64;
+        }
+        PtxType::F64 => {
+            as_f64 = f64_of(bits);
+            as_i64 = as_f64 as i64;
+        }
+        PtxType::S32 => {
+            as_i64 = bits as u32 as i32 as i64;
+            as_f64 = as_i64 as f64;
+        }
+        PtxType::S64 => {
+            as_i64 = bits as i64;
+            as_f64 = as_i64 as f64;
+        }
+        PtxType::U32 => {
+            as_i64 = (bits as u32) as i64;
+            as_f64 = as_i64 as f64;
+        }
+        PtxType::U64 | PtxType::Pred => {
+            as_i64 = bits as i64;
+            as_f64 = bits as f64;
+        }
+    }
+    match dst_ty {
+        PtxType::F32 => (as_f64 as f32).to_bits() as u64,
+        PtxType::F64 => {
+            if src_ty.is_float() {
+                as_f64.to_bits()
+            } else {
+                as_f64.to_bits()
+            }
+        }
+        PtxType::S32 => {
+            let v = if src_ty.is_float() { as_f64 as i32 } else { as_i64 as i32 };
+            v as u32 as u64
+        }
+        PtxType::U32 => {
+            let v = if src_ty.is_float() { as_f64 as u32 } else { as_i64 as u32 };
+            v as u64
+        }
+        PtxType::S64 => {
+            let v = if src_ty.is_float() { as_f64 as i64 } else { as_i64 };
+            v as u64
+        }
+        PtxType::U64 => {
+            if src_ty.is_float() {
+                as_f64 as u64
+            } else {
+                as_i64 as u64
+            }
+        }
+        PtxType::Pred => u64::from(bits != 0),
+    }
+}
+
+#[inline]
+fn unary(op: UnOp, ty: PtxType, bits: u64) -> u64 {
+    match ty {
+        PtxType::F32 => {
+            let v = f32_of(bits);
+            let r = match op {
+                UnOp::Neg => -v,
+                UnOp::Abs => v.abs(),
+                UnOp::Sqrt => v.sqrt(),
+                UnOp::Rsqrt => 1.0 / v.sqrt(),
+                UnOp::Sin => v.sin(),
+                UnOp::Cos => v.cos(),
+                UnOp::Lg2 => v.log2(),
+                UnOp::Ex2 => v.exp2(),
+                UnOp::Rcp => 1.0 / v,
+                UnOp::Not => panic!("not on float"),
+            };
+            r.to_bits() as u64
+        }
+        PtxType::F64 => {
+            let v = f64_of(bits);
+            let r = match op {
+                UnOp::Neg => -v,
+                UnOp::Abs => v.abs(),
+                UnOp::Sqrt => v.sqrt(),
+                UnOp::Rsqrt => 1.0 / v.sqrt(),
+                UnOp::Sin => v.sin(),
+                UnOp::Cos => v.cos(),
+                UnOp::Lg2 => v.log2(),
+                UnOp::Ex2 => v.exp2(),
+                UnOp::Rcp => 1.0 / v,
+                UnOp::Not => panic!("not on float"),
+            };
+            r.to_bits()
+        }
+        _ => {
+            let w32 = ty.size_bytes() == 4;
+            let r = match op {
+                UnOp::Neg => (bits as i64).wrapping_neg() as u64,
+                UnOp::Abs => {
+                    if w32 {
+                        (bits as u32 as i32).unsigned_abs() as u64
+                    } else {
+                        (bits as i64).unsigned_abs()
+                    }
+                }
+                UnOp::Not => !bits,
+                _ => panic!("float-only unary on int"),
+            };
+            if w32 {
+                r & 0xFFFF_FFFF
+            } else {
+                r
+            }
+        }
+    }
+}
+
+/// Execute one thread. `block`/`thread` are the CUDA coordinates.
+#[allow(clippy::too_many_arguments)]
+fn run_thread(
+    k: &CompiledKernel,
+    args: &[u64],
+    mem: &DeviceMemory,
+    regs: &mut [u64],
+    block: u32,
+    thread: u32,
+    block_size: u32,
+    n_blocks: u32,
+) {
+    regs.fill(0);
+    let mut pc = 0usize;
+    let mut steps = 0u64;
+    let code = &k.code;
+    while pc < code.len() {
+        steps += 1;
+        assert!(
+            steps < 100_000_000,
+            "kernel {} exceeded step limit (runaway loop?)",
+            k.name
+        );
+        match &code[pc] {
+            COp::LdArg { dst, arg, .. } => {
+                regs[*dst as usize] = args[*arg as usize];
+            }
+            COp::Ld {
+                ty,
+                dst,
+                addr,
+                offset,
+            } => {
+                let a = (regs[*addr as usize] as i64 + offset) as u64;
+                regs[*dst as usize] = match ty {
+                    PtxType::F32 => mem.read_f32(a).to_bits() as u64,
+                    PtxType::F64 => mem.read_f64(a).to_bits(),
+                    PtxType::S32 | PtxType::U32 => mem.read_u32(a) as u64,
+                    _ => mem.read_u64(a),
+                };
+            }
+            COp::St {
+                ty,
+                addr,
+                offset,
+                src,
+            } => {
+                let a = (regs[*addr as usize] as i64 + offset) as u64;
+                let v = get(regs, *src);
+                match ty {
+                    PtxType::F32 | PtxType::S32 | PtxType::U32 => mem.write_u32(a, v as u32),
+                    _ => mem.write_u64(a, v),
+                }
+            }
+            COp::Mov { dst, src, .. } => {
+                regs[*dst as usize] = get(regs, *src);
+            }
+            COp::Special { dst, sreg } => {
+                regs[*dst as usize] = match sreg {
+                    SpecialReg::TidX => thread as u64,
+                    SpecialReg::NtidX => block_size as u64,
+                    SpecialReg::CtaidX => block as u64,
+                    SpecialReg::NctaidX => n_blocks as u64,
+                };
+            }
+            COp::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => {
+                regs[*dst as usize] = convert(*dst_ty, *src_ty, regs[*src as usize]);
+            }
+            COp::Un { op, ty, dst, src } => {
+                regs[*dst as usize] = unary(*op, *ty, get(regs, *src));
+            }
+            COp::Bin { op, ty, dst, a, b } => {
+                let (av, bv) = (get(regs, *a), get(regs, *b));
+                regs[*dst as usize] = match ty {
+                    PtxType::F32 => bin_f32(*op, f32_of(av), f32_of(bv)).to_bits() as u64,
+                    PtxType::F64 => bin_f64(*op, f64_of(av), f64_of(bv)).to_bits(),
+                    _ => bin_int(*op, *ty, av, bv),
+                };
+            }
+            COp::MulWide { src_ty, dst, a, b } => {
+                let av = regs[*a as usize];
+                let bv = get(regs, *b);
+                regs[*dst as usize] = if *src_ty == PtxType::S32 {
+                    ((av as u32 as i32 as i64) * (bv as u32 as i32 as i64)) as u64
+                } else {
+                    (av as u32 as u64) * (bv as u32 as u64)
+                };
+            }
+            COp::MadLo { ty, dst, a, b, c } => {
+                let prod = bin_int(BinOp::Mul, *ty, get(regs, *a), get(regs, *b));
+                regs[*dst as usize] = bin_int(BinOp::Add, *ty, prod, get(regs, *c));
+            }
+            COp::Fma { ty, dst, a, b, c } => {
+                let (av, bv, cv) = (get(regs, *a), get(regs, *b), get(regs, *c));
+                regs[*dst as usize] = match ty {
+                    PtxType::F32 => f32_of(av)
+                        .mul_add(f32_of(bv), f32_of(cv))
+                        .to_bits() as u64,
+                    _ => f64_of(av).mul_add(f64_of(bv), f64_of(cv)).to_bits(),
+                };
+            }
+            COp::Setp { cmp, ty, dst, a, b } => {
+                regs[*dst as usize] = u64::from(cmp_values(*cmp, *ty, get(regs, *a), get(regs, *b)));
+            }
+            COp::Selp {
+                dst, a, b, pred, ..
+            } => {
+                regs[*dst as usize] = if regs[*pred as usize] != 0 {
+                    get(regs, *a)
+                } else {
+                    get(regs, *b)
+                };
+            }
+            COp::Bra { target, pred } => {
+                let taken = match pred {
+                    None => true,
+                    Some((p, negated)) => (regs[*p as usize] != 0) != *negated,
+                };
+                if taken {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            COp::Call { func, ty, dst, args: a } => {
+                let x = regs[a[0] as usize];
+                let (xv, yv) = match ty {
+                    PtxType::F32 => (
+                        f32_of(x) as f64,
+                        if func.arity() == 2 {
+                            f32_of(regs[a[1] as usize]) as f64
+                        } else {
+                            0.0
+                        },
+                    ),
+                    _ => (
+                        f64_of(x),
+                        if func.arity() == 2 {
+                            f64_of(regs[a[1] as usize])
+                        } else {
+                            0.0
+                        },
+                    ),
+                };
+                let r = func.eval(xv, yv);
+                regs[*dst as usize] = match ty {
+                    PtxType::F32 => (r as f32).to_bits() as u64,
+                    _ => r.to_bits(),
+                };
+            }
+            COp::Ret => return,
+        }
+        pc += 1;
+    }
+}
+
+/// Execute a full grid. Blocks run in parallel, threads within a block
+/// sequentially. Arguments are type-checked against the kernel signature.
+pub fn run_grid(
+    k: &CompiledKernel,
+    args: &[LaunchArg],
+    mem: &DeviceMemory,
+    n_blocks: u32,
+    block_size: u32,
+) {
+    assert_eq!(
+        args.len(),
+        k.param_types.len(),
+        "kernel {} expects {} arguments, got {}",
+        k.name,
+        k.param_types.len(),
+        args.len()
+    );
+    let bits: Vec<u64> = args.iter().map(|a| a.bits()).collect();
+    (0..n_blocks).into_par_iter().for_each(|block| {
+        let mut regs = vec![0u64; k.n_slots as usize];
+        for thread in 0..block_size {
+            run_thread(
+                k, &bits, mem, &mut regs, block, thread, block_size, n_blocks,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use qdp_ptx::inst::{Inst, Operand};
+    use qdp_ptx::module::KernelBuilder;
+    use qdp_ptx::types::RegClass;
+
+    /// Build `out[i] = a[i] * s + b[i]` (f64 saxpy) and run it.
+    #[test]
+    fn saxpy_f64_executes_correctly() {
+        let mut b = KernelBuilder::new("saxpy");
+        let p_out = b.param("out", PtxType::U64);
+        let p_a = b.param("a", PtxType::U64);
+        let p_b = b.param("b", PtxType::U64);
+        let p_s = b.param("s", PtxType::F64);
+        let p_n = b.param("n", PtxType::U32);
+        let tid = b.global_tid();
+        let n = b.ld_param(&p_n, PtxType::U32);
+        let exit = b.guard(tid, n);
+        let off = b.fresh(RegClass::B64);
+        b.push(Inst::MulWide {
+            src_ty: PtxType::U32,
+            dst: off,
+            a: tid,
+            b: Operand::ImmI(8),
+        });
+        let s = b.ld_param(&p_s, PtxType::F64);
+        let base_a = b.ld_param(&p_a, PtxType::U64);
+        let addr_a = b.bin(qdp_ptx::inst::BinOp::Add, PtxType::U64, base_a.into(), off.into());
+        let va = b.fresh(RegClass::F64);
+        b.push(Inst::LdGlobal {
+            ty: PtxType::F64,
+            dst: va,
+            addr: addr_a,
+            offset: 0,
+        });
+        let base_b = b.ld_param(&p_b, PtxType::U64);
+        let addr_b = b.bin(qdp_ptx::inst::BinOp::Add, PtxType::U64, base_b.into(), off.into());
+        let vb = b.fresh(RegClass::F64);
+        b.push(Inst::LdGlobal {
+            ty: PtxType::F64,
+            dst: vb,
+            addr: addr_b,
+            offset: 0,
+        });
+        let r = b.fma(PtxType::F64, va.into(), s.into(), vb.into());
+        let base_o = b.ld_param(&p_out, PtxType::U64);
+        let addr_o = b.bin(qdp_ptx::inst::BinOp::Add, PtxType::U64, base_o.into(), off.into());
+        b.push(Inst::StGlobal {
+            ty: PtxType::F64,
+            addr: addr_o,
+            offset: 0,
+            src: r.into(),
+        });
+        b.bind_label(&exit);
+        let k = lower_kernel(&b.finish()).unwrap();
+
+        let n = 1000usize;
+        let mem = DeviceMemory::new(1 << 20);
+        let pa = mem.alloc(n * 8).unwrap();
+        let pb = mem.alloc(n * 8).unwrap();
+        let po = mem.alloc(n * 8).unwrap();
+        for i in 0..n {
+            mem.write_f64(pa + 8 * i as u64, i as f64);
+            mem.write_f64(pb + 8 * i as u64, 0.5 * i as f64);
+        }
+        let args = [
+            LaunchArg::Ptr(po),
+            LaunchArg::Ptr(pa),
+            LaunchArg::Ptr(pb),
+            LaunchArg::F64(3.0),
+            LaunchArg::U32(n as u32),
+        ];
+        let block = 128u32;
+        let blocks = (n as u32).div_ceil(block);
+        run_grid(&k, &args, &mem, blocks, block);
+        for i in 0..n {
+            let expect = 3.0 * i as f64 + 0.5 * i as f64;
+            assert_eq!(mem.read_f64(po + 8 * i as u64), expect, "site {i}");
+        }
+    }
+
+    #[test]
+    fn guard_prevents_overrun() {
+        // Launch more threads than elements; guarded threads must not write.
+        let mut b = KernelBuilder::new("guarded");
+        let p_out = b.param("out", PtxType::U64);
+        let p_n = b.param("n", PtxType::U32);
+        let tid = b.global_tid();
+        let n = b.ld_param(&p_n, PtxType::U32);
+        let exit = b.guard(tid, n);
+        let off = b.fresh(RegClass::B64);
+        b.push(Inst::MulWide {
+            src_ty: PtxType::U32,
+            dst: off,
+            a: tid,
+            b: Operand::ImmI(4),
+        });
+        let base = b.ld_param(&p_out, PtxType::U64);
+        let addr = b.bin(qdp_ptx::inst::BinOp::Add, PtxType::U64, base.into(), off.into());
+        b.push(Inst::StGlobal {
+            ty: PtxType::F32,
+            addr,
+            offset: 0,
+            src: Operand::ImmF(1.0),
+        });
+        b.bind_label(&exit);
+        let k = lower_kernel(&b.finish()).unwrap();
+
+        let mem = DeviceMemory::new(1 << 16);
+        let n = 10usize;
+        // allocate space for the full grid's worth so an overrun would be
+        // visible rather than a bounds panic
+        let po = mem.alloc(256 * 4).unwrap();
+        run_grid(
+            &k,
+            &[LaunchArg::Ptr(po), LaunchArg::U32(n as u32)],
+            &mem,
+            2,
+            128,
+        );
+        for i in 0..256 {
+            let v = mem.read_f32(po + 4 * i as u64);
+            if i < n {
+                assert_eq!(v, 1.0);
+            } else {
+                assert_eq!(v, 0.0, "guarded thread {i} wrote");
+            }
+        }
+    }
+
+    #[test]
+    fn int_semantics() {
+        assert_eq!(bin_int(BinOp::Add, PtxType::U32, 0xFFFF_FFFF, 1), 0);
+        assert_eq!(
+            bin_int(BinOp::Shr, PtxType::S32, (-8i32) as u32 as u64, 1),
+            (-4i32) as u32 as u64
+        );
+        assert_eq!(bin_int(BinOp::Shr, PtxType::U32, 0x8000_0000, 1), 0x4000_0000);
+        assert_eq!(
+            bin_int(BinOp::Div, PtxType::S32, (-7i32) as u32 as u64, 2),
+            (-3i32) as u32 as u64
+        );
+        assert_eq!(bin_int(BinOp::Min, PtxType::S32, (-1i32) as u32 as u64, 1), (-1i32) as u32 as u64);
+        assert_eq!(bin_int(BinOp::Min, PtxType::U32, (-1i32) as u32 as u64, 1), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        // f64 -> f32 rounding
+        let b = convert(PtxType::F32, PtxType::F64, (1.0f64 / 3.0).to_bits());
+        assert_eq!(f32_of(b), (1.0f64 / 3.0) as f32);
+        // s32 -> f64 exact
+        let b = convert(PtxType::F64, PtxType::S32, (-5i32) as u32 as u64);
+        assert_eq!(f64_of(b), -5.0);
+        // f32 -> s32 truncation toward zero
+        let b = convert(PtxType::S32, PtxType::F32, (( -2.7f32).to_bits()) as u64);
+        assert_eq!(b as u32 as i32, -2);
+        // u32 widening
+        let b = convert(PtxType::U64, PtxType::U32, 0xFFFF_FFFF);
+        assert_eq!(b, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        let nan = f64::NAN.to_bits();
+        let one = 1.0f64.to_bits();
+        for cmp in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!cmp_values(cmp, PtxType::F64, nan, one), "{cmp:?}");
+        }
+    }
+}

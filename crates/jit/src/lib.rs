@@ -1,0 +1,34 @@
+//! # qdp-jit — the simulated driver JIT
+//!
+//! In the paper, PTX kernels are translated to GPU machine code by the JIT
+//! compiler inside the NVIDIA Linux kernel driver (Fig. 2). This crate plays
+//! that role for the simulated device:
+//!
+//! * [`lower`] parses **PTX text** (via `qdp-ptx`'s parser) and lowers it to
+//!   a compact register-machine program ([`CompiledKernel`]) with resolved
+//!   register slots, branch targets and parameter indices — the "GPU code"
+//!   stage;
+//! * [`exec`] executes a compiled kernel over a grid of thread blocks
+//!   (rayon-parallel across blocks, like blocks across SMs), reading and
+//!   writing simulated device memory bit-exactly;
+//! * [`cache`] is the compiled-kernel cache: each distinct PTX program is
+//!   translated once (the paper measures 0.05–0.22 s per kernel, §III-D,
+//!   and ~200 kernels ≈ 10–30 s per HMC trajectory, §VIII-D);
+//! * [`autotune`] implements the paper's thread-block auto-tuner (§VII):
+//!   start at the architectural maximum block size, halve on launch
+//!   failure, then probe smaller sizes on payload launches until the
+//!   execution time degrades by ≥ 33 %, and keep the best;
+//! * [`launch`] ties it together: tuned, accounted, functionally executed
+//!   kernel launches.
+
+pub mod autotune;
+pub mod cache;
+pub mod exec;
+pub mod launch;
+pub mod lower;
+
+pub use autotune::AutoTuner;
+pub use cache::{KernelCache, KernelCacheStats};
+pub use exec::{run_grid, LaunchArg};
+pub use launch::{launch_tuned, LaunchOutcome};
+pub use lower::{lower_kernel, CompiledKernel, JitError};

@@ -1,0 +1,711 @@
+//! Lowering parsed PTX to the register-machine program executed by the
+//! simulated device ("GPU code" in the paper's Fig. 2).
+//!
+//! The lowering resolves virtual registers to slots in a flat per-thread
+//! register file, branch labels to instruction indices, parameter names to
+//! argument indices, and pre-encodes immediates in the operation's type.
+//! It also extracts the static resource/traffic statistics the performance
+//! model and the occupancy calculation need.
+
+use qdp_ptx::inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
+use qdp_ptx::module::Kernel;
+use qdp_ptx::types::{PtxType, Reg, RegClass};
+use qdp_ptx::PtxError;
+use std::collections::HashMap;
+
+/// Errors from JIT translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JitError {
+    /// The PTX front end rejected the program.
+    Ptx(PtxError),
+    /// Structural problem found during lowering.
+    Lower(String),
+}
+
+impl From<PtxError> for JitError {
+    fn from(e: PtxError) -> JitError {
+        JitError::Ptx(e)
+    }
+}
+
+impl std::fmt::Display for JitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JitError::Ptx(e) => write!(f, "{e}"),
+            JitError::Lower(m) => write!(f, "lowering failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+/// A resolved operand: register slot or pre-encoded immediate bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AVal {
+    /// Register-file slot.
+    Slot(u32),
+    /// Immediate, already encoded in the operation type's bit layout.
+    Imm(u64),
+}
+
+/// Lowered instructions. Registers are flat slots; labels are gone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum COp {
+    /// Load a kernel argument.
+    LdArg {
+        /// Destination slot.
+        dst: u32,
+        /// Argument index.
+        arg: u32,
+        /// Declared parameter type.
+        ty: PtxType,
+    },
+    /// Global load.
+    Ld {
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Slot holding the byte address.
+        addr: u32,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// Global store.
+    St {
+        /// Value type.
+        ty: PtxType,
+        /// Slot holding the byte address.
+        addr: u32,
+        /// Constant byte offset.
+        offset: i64,
+        /// Value to store.
+        src: AVal,
+    },
+    /// Move.
+    Mov {
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Source.
+        src: AVal,
+    },
+    /// Read special register.
+    Special {
+        /// Destination slot.
+        dst: u32,
+        /// Which special register.
+        sreg: SpecialReg,
+    },
+    /// Type conversion.
+    Cvt {
+        /// Destination type.
+        dst_ty: PtxType,
+        /// Source type.
+        src_ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Source slot.
+        src: u32,
+    },
+    /// Unary operation.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Source.
+        src: AVal,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Left operand.
+        a: AVal,
+        /// Right operand.
+        b: AVal,
+    },
+    /// Widening 32→64-bit multiply.
+    MulWide {
+        /// Source type (u32/s32).
+        src_ty: PtxType,
+        /// 64-bit destination slot.
+        dst: u32,
+        /// 32-bit source slot.
+        a: u32,
+        /// Right operand.
+        b: AVal,
+    },
+    /// Integer multiply-add (low half).
+    MadLo {
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Multiplicand.
+        a: AVal,
+        /// Multiplier.
+        b: AVal,
+        /// Addend.
+        c: AVal,
+    },
+    /// Fused multiply-add.
+    Fma {
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Multiplicand.
+        a: AVal,
+        /// Multiplier.
+        b: AVal,
+        /// Addend.
+        c: AVal,
+    },
+    /// Set predicate from comparison.
+    Setp {
+        /// Comparison.
+        cmp: CmpOp,
+        /// Operand type.
+        ty: PtxType,
+        /// Predicate destination slot.
+        dst: u32,
+        /// Left operand.
+        a: AVal,
+        /// Right operand.
+        b: AVal,
+    },
+    /// Select by predicate.
+    Selp {
+        /// Value type.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Value if predicate is true.
+        a: AVal,
+        /// Value if predicate is false.
+        b: AVal,
+        /// Predicate slot.
+        pred: u32,
+    },
+    /// Branch to an instruction index.
+    Bra {
+        /// Target instruction index.
+        target: u32,
+        /// Optional predicate `(slot, negated)`.
+        pred: Option<(u32, bool)>,
+    },
+    /// Math subroutine call.
+    Call {
+        /// The subroutine.
+        func: MathFn,
+        /// Precision.
+        ty: PtxType,
+        /// Destination slot.
+        dst: u32,
+        /// Argument slots (second used only for binary functions).
+        args: [u32; 2],
+    },
+    /// Return (thread exit).
+    Ret,
+}
+
+/// A JIT-translated kernel: the executable program plus the static
+/// statistics the timing and occupancy models need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Lowered program.
+    pub code: Vec<COp>,
+    /// Per-thread register-file size in slots.
+    pub n_slots: u32,
+    /// Number of kernel arguments with their declared types.
+    pub param_types: Vec<PtxType>,
+    /// 32-bit register equivalents per thread (occupancy input).
+    pub regs_per_thread: u32,
+    /// Global-memory bytes read per thread.
+    pub read_bytes: usize,
+    /// Global-memory bytes written per thread.
+    pub write_bytes: usize,
+    /// Floating-point operations per thread.
+    pub flops: usize,
+    /// Dominant memory-access width in bytes (4 = SP, 8 = DP fields).
+    pub access_bytes: usize,
+    /// Whether the kernel performs double-precision arithmetic.
+    pub double_precision: bool,
+}
+
+fn encode_imm(ty: PtxType, op: &Operand) -> Result<u64, JitError> {
+    match op {
+        Operand::Reg(_) => unreachable!(),
+        Operand::ImmF(v) => match ty {
+            PtxType::F32 => Ok((*v as f32).to_bits() as u64),
+            PtxType::F64 => Ok(v.to_bits()),
+            _ => Err(JitError::Lower(format!(
+                "float immediate in {} context",
+                ty.suffix()
+            ))),
+        },
+        Operand::ImmI(v) => Ok(*v as u64),
+    }
+}
+
+/// Translate one kernel into a [`CompiledKernel`].
+pub fn lower_kernel(kernel: &Kernel) -> Result<CompiledKernel, JitError> {
+    kernel.validate()?;
+
+    // Slot assignment: banks are laid out consecutively.
+    let classes = RegClass::all();
+    let mut bank_base = [0u32; 5];
+    let mut total = 0u32;
+    for (i, _c) in classes.iter().enumerate() {
+        bank_base[i] = total;
+        total += kernel.reg_counts[i];
+    }
+    let slot = |r: &Reg| -> u32 {
+        let idx = classes.iter().position(|c| *c == r.class).unwrap();
+        bank_base[idx] + r.id
+    };
+    let aval = |ty: PtxType, op: &Operand| -> Result<AVal, JitError> {
+        match op {
+            Operand::Reg(r) => Ok(AVal::Slot(slot(r))),
+            imm => Ok(AVal::Imm(encode_imm(ty, imm)?)),
+        }
+    };
+
+    // Label resolution: instruction index of each label, with labels
+    // removed from the lowered stream. First pass: compute final indices.
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut out_idx = 0u32;
+    for inst in &kernel.body {
+        if let Inst::Label { name } = inst {
+            labels.insert(name.as_str(), out_idx);
+        } else {
+            out_idx += 1;
+        }
+    }
+
+    let param_index = |name: &str| -> Result<u32, JitError> {
+        kernel
+            .params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u32)
+            .ok_or_else(|| JitError::Lower(format!("unknown param {name}")))
+    };
+
+    let mut code = Vec::with_capacity(kernel.body.len());
+    let mut access_bytes = 4usize;
+    let mut double_precision = false;
+    for inst in &kernel.body {
+        let lowered = match inst {
+            Inst::Label { .. } => continue,
+            Inst::LdParam { ty, dst, param } => COp::LdArg {
+                dst: slot(dst),
+                arg: param_index(param)?,
+                ty: *ty,
+            },
+            Inst::LdGlobal {
+                ty,
+                dst,
+                addr,
+                offset,
+            } => {
+                access_bytes = access_bytes.max(ty.size_bytes());
+                COp::Ld {
+                    ty: *ty,
+                    dst: slot(dst),
+                    addr: slot(addr),
+                    offset: *offset,
+                }
+            }
+            Inst::StGlobal {
+                ty,
+                addr,
+                offset,
+                src,
+            } => COp::St {
+                ty: *ty,
+                addr: slot(addr),
+                offset: *offset,
+                src: aval(*ty, src)?,
+            },
+            Inst::Mov { ty, dst, src } => COp::Mov {
+                ty: *ty,
+                dst: slot(dst),
+                src: aval(*ty, src)?,
+            },
+            Inst::MovSpecial { dst, sreg } => COp::Special {
+                dst: slot(dst),
+                sreg: *sreg,
+            },
+            Inst::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => COp::Cvt {
+                dst_ty: *dst_ty,
+                src_ty: *src_ty,
+                dst: slot(dst),
+                src: slot(src),
+            },
+            Inst::Unary { op, ty, dst, src } => COp::Un {
+                op: *op,
+                ty: *ty,
+                dst: slot(dst),
+                src: aval(*ty, src)?,
+            },
+            Inst::Binary { op, ty, dst, a, b } => COp::Bin {
+                op: *op,
+                ty: *ty,
+                dst: slot(dst),
+                a: aval(*ty, a)?,
+                b: aval(*ty, b)?,
+            },
+            Inst::MulWide { src_ty, dst, a, b } => COp::MulWide {
+                src_ty: *src_ty,
+                dst: slot(dst),
+                a: slot(a),
+                b: aval(*src_ty, b)?,
+            },
+            Inst::MadLo { ty, dst, a, b, c } => COp::MadLo {
+                ty: *ty,
+                dst: slot(dst),
+                a: aval(*ty, a)?,
+                b: aval(*ty, b)?,
+                c: aval(*ty, c)?,
+            },
+            Inst::Fma { ty, dst, a, b, c } => COp::Fma {
+                ty: *ty,
+                dst: slot(dst),
+                a: aval(*ty, a)?,
+                b: aval(*ty, b)?,
+                c: aval(*ty, c)?,
+            },
+            Inst::Setp { cmp, ty, dst, a, b } => COp::Setp {
+                cmp: *cmp,
+                ty: *ty,
+                dst: slot(dst),
+                a: aval(*ty, a)?,
+                b: aval(*ty, b)?,
+            },
+            Inst::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            } => COp::Selp {
+                ty: *ty,
+                dst: slot(dst),
+                a: aval(*ty, a)?,
+                b: aval(*ty, b)?,
+                pred: slot(pred),
+            },
+            Inst::Bra { target, pred } => COp::Bra {
+                target: *labels
+                    .get(target.as_str())
+                    .ok_or_else(|| JitError::Lower(format!("undefined label {target}")))?,
+                pred: pred.map(|(r, n)| (slot(&r), n)),
+            },
+            Inst::Call { func, ty, dst, args } => {
+                let mut a = [0u32; 2];
+                for (i, r) in args.iter().enumerate().take(2) {
+                    a[i] = slot(r);
+                }
+                COp::Call {
+                    func: *func,
+                    ty: *ty,
+                    dst: slot(dst),
+                    args: a,
+                }
+            }
+            Inst::Ret => COp::Ret,
+        };
+        // Track DP usage from instruction types.
+        if let Inst::Fma { ty, .. }
+        | Inst::Binary { ty, .. }
+        | Inst::Unary { ty, .. }
+        | Inst::LdGlobal { ty, .. } = inst
+        {
+            if *ty == PtxType::F64 {
+                double_precision = true;
+            }
+        }
+        code.push(lowered);
+    }
+
+    // Register allocation: the virtual registers are SSA-like (every value
+    // gets a fresh one), but the driver JIT allocates physical registers by
+    // live range. Estimate the per-thread register footprint as the peak
+    // number of simultaneously live 32-bit equivalents.
+    let slot_width = |slot: u32| -> u32 {
+        // find the bank containing this slot
+        let mut w = 1u32;
+        for (i, c) in classes.iter().enumerate() {
+            let lo = bank_base[i];
+            let hi = lo + kernel.reg_counts[i];
+            if slot >= lo && slot < hi {
+                w = match c.width_bytes() {
+                    8 => 2,
+                    _ => 1,
+                };
+                break;
+            }
+        }
+        w
+    };
+    let allocated_regs = estimate_register_pressure(&code, total, &slot_width);
+
+    let (read_bytes, write_bytes) = kernel.thread_bytes();
+    Ok(CompiledKernel {
+        name: kernel.name.clone(),
+        code,
+        n_slots: total,
+        param_types: kernel.params.iter().map(|p| p.ty).collect(),
+        regs_per_thread: allocated_regs,
+        read_bytes,
+        write_bytes,
+        flops: kernel.thread_flops(),
+        access_bytes,
+        double_precision,
+    })
+}
+
+/// Slots mentioned by one lowered instruction (defs and uses together —
+/// live ranges span from first to last mention).
+fn aval_into(v: &AVal, out: &mut Vec<u32>) {
+    if let AVal::Slot(s) = v {
+        out.push(*s);
+    }
+}
+
+fn mentioned_slots(op: &COp, out: &mut Vec<u32>) {
+    match op {
+        COp::LdArg { dst, .. } => out.push(*dst),
+        COp::Ld { dst, addr, .. } => {
+            out.push(*dst);
+            out.push(*addr);
+        }
+        COp::St { addr, src, .. } => {
+            out.push(*addr);
+            aval_into(src, out);
+        }
+        COp::Mov { dst, src, .. } => {
+            out.push(*dst);
+            aval_into(src, out);
+        }
+        COp::Special { dst, .. } => out.push(*dst),
+        COp::Cvt { dst, src, .. } => {
+            out.push(*dst);
+            out.push(*src);
+        }
+        COp::Un { dst, src, .. } => {
+            out.push(*dst);
+            aval_into(src, out);
+        }
+        COp::Bin { dst, a, b, .. } => {
+            out.push(*dst);
+            aval_into(a, out);
+            aval_into(b, out);
+        }
+        COp::MulWide { dst, a, b, .. } => {
+            out.push(*dst);
+            out.push(*a);
+            aval_into(b, out);
+        }
+        COp::MadLo { dst, a, b, c, .. } | COp::Fma { dst, a, b, c, .. } => {
+            out.push(*dst);
+            aval_into(a, out);
+            aval_into(b, out);
+            aval_into(c, out);
+        }
+        COp::Setp { dst, a, b, .. } => {
+            out.push(*dst);
+            aval_into(a, out);
+            aval_into(b, out);
+        }
+        COp::Selp {
+            dst, a, b, pred, ..
+        } => {
+            out.push(*dst);
+            aval_into(a, out);
+            aval_into(b, out);
+            out.push(*pred);
+        }
+        COp::Bra { pred, .. } => {
+            if let Some((p, _)) = pred {
+                out.push(*p);
+            }
+        }
+        COp::Call { dst, args, .. } => {
+            out.push(*dst);
+            out.push(args[0]);
+            out.push(args[1]);
+        }
+        COp::Ret => {}
+    }
+}
+
+/// Peak register pressure: maximum simultaneously live 32-bit register
+/// equivalents, with live ranges approximated as first-to-last mention
+/// (exact for the straight-line streaming kernels the generator emits).
+fn estimate_register_pressure(
+    code: &[COp],
+    n_slots: u32,
+    slot_width: &dyn Fn(u32) -> u32,
+) -> u32 {
+    let n = n_slots as usize;
+    let mut first = vec![usize::MAX; n];
+    let mut last = vec![0usize; n];
+    let mut mentions = Vec::with_capacity(8);
+    for (i, op) in code.iter().enumerate() {
+        mentions.clear();
+        mentioned_slots(op, &mut mentions);
+        for &s in &mentions {
+            let s = s as usize;
+            if first[s] == usize::MAX {
+                first[s] = i;
+            }
+            last[s] = i;
+        }
+    }
+    // sweep: +width at first mention, -width after last mention
+    let mut delta = vec![0i64; code.len() + 1];
+    for s in 0..n {
+        if first[s] == usize::MAX {
+            continue;
+        }
+        let w = slot_width(s as u32) as i64;
+        delta[first[s]] += w;
+        delta[last[s] + 1] -= w;
+    }
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for d in delta {
+        live += d;
+        peak = peak.max(live);
+    }
+    // A floor of 16 mirrors the ABI/reserved registers of real kernels; a
+    // ceiling of 255 mirrors the hardware limit (the driver spills to
+    // local memory beyond it).
+    (peak as u32).clamp(16, 255)
+}
+
+/// Parse PTX text and lower every kernel. This is the "driver JIT" entry
+/// point used by [`crate::cache::KernelCache`].
+pub fn compile_ptx(text: &str) -> Result<Vec<CompiledKernel>, JitError> {
+    let module = qdp_ptx::parse::parse_module(text)?;
+    module.validate()?;
+    module.kernels.iter().map(lower_kernel).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdp_ptx::emit::emit_module;
+    use qdp_ptx::module::{KernelBuilder, Module};
+
+    fn build_simple() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("x", PtxType::U64);
+        let n = b.param("n", PtxType::U32);
+        let tid = b.global_tid();
+        let nn = b.ld_param(&n, PtxType::U32);
+        let exit = b.guard(tid, nn);
+        let base = b.ld_param(&p, PtxType::U64);
+        let off = b.fresh(RegClass::B64);
+        b.push(Inst::MulWide {
+            src_ty: PtxType::U32,
+            dst: off,
+            a: tid,
+            b: Operand::ImmI(8),
+        });
+        let addr = b.bin(BinOp::Add, PtxType::U64, base.into(), off.into());
+        let v = b.fresh(RegClass::F64);
+        b.push(Inst::LdGlobal {
+            ty: PtxType::F64,
+            dst: v,
+            addr,
+            offset: 0,
+        });
+        let w = b.bin(BinOp::Mul, PtxType::F64, v.into(), Operand::ImmF(3.0));
+        b.push(Inst::StGlobal {
+            ty: PtxType::F64,
+            addr,
+            offset: 0,
+            src: w.into(),
+        });
+        b.bind_label(&exit);
+        b.finish()
+    }
+
+    #[test]
+    fn lowering_resolves_labels_and_params() {
+        let k = build_simple();
+        let c = lower_kernel(&k).unwrap();
+        // Exactly one branch; its target must be the index of the Ret's
+        // predecessor region (the label is removed).
+        let bra_targets: Vec<u32> = c
+            .code
+            .iter()
+            .filter_map(|op| match op {
+                COp::Bra { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bra_targets.len(), 1);
+        let t = bra_targets[0] as usize;
+        assert!(matches!(c.code[t], COp::Ret));
+        assert_eq!(c.param_types.len(), 2);
+        assert!(c.double_precision);
+        assert_eq!(c.access_bytes, 8);
+        assert_eq!(c.read_bytes, 8);
+        assert_eq!(c.write_bytes, 8);
+        assert_eq!(c.flops, 1);
+    }
+
+    #[test]
+    fn compile_from_text_roundtrip() {
+        let module = Module::with_kernel(build_simple());
+        let text = emit_module(&module);
+        let compiled = compile_ptx(&text).unwrap();
+        assert_eq!(compiled.len(), 1);
+        assert_eq!(compiled[0], lower_kernel(&module.kernels[0]).unwrap());
+    }
+
+    #[test]
+    fn float_imm_encoded_in_op_type() {
+        let k = build_simple();
+        let c = lower_kernel(&k).unwrap();
+        let has_f64_imm = c.code.iter().any(|op| {
+            matches!(op, COp::Bin { b: AVal::Imm(bits), ty: PtxType::F64, .. }
+                     if f64::from_bits(*bits) == 3.0)
+        });
+        assert!(has_f64_imm);
+    }
+
+    #[test]
+    fn rejects_bad_ptx_text() {
+        assert!(compile_ptx("garbage").is_err());
+    }
+
+    #[test]
+    fn slots_are_disjoint_across_banks() {
+        let k = build_simple();
+        let c = lower_kernel(&k).unwrap();
+        // n_slots equals the sum of all declared registers
+        let sum: u32 = k.reg_counts.iter().sum();
+        assert_eq!(c.n_slots, sum);
+    }
+}

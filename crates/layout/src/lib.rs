@@ -1,0 +1,31 @@
+//! # qdp-layout — lattice geometry and data layout
+//!
+//! Implements the "outer level" of the QDP++ type hierarchy (paper §II-B):
+//! the `Lattice` container ascribes elements to grid points of an
+//! N_d-dimensional hypercubic lattice. Node parallelisation happens at this
+//! level — each rank holds a *sub-grid* of the global lattice.
+//!
+//! Also implements the paper's coalesced data-layout function (§III-B)
+//!
+//! ```text
+//! I(iV,iS,iC,iR) = ((iR·IC + iC)·IS + iS)·IV + iV
+//! ```
+//!
+//! as [`LayoutKind::SoA`] (adjacent threads → adjacent memory) plus the
+//! naive array-of-structures layout for the ablation study, checkerboard
+//! subsets for even–odd preconditioning, neighbour tables for shift
+//! operations (§II-C), and the inner/face partition used to overlap
+//! communication with computation (§V).
+
+pub mod decomp;
+pub mod geometry;
+pub mod layout_fn;
+pub mod subset;
+
+pub use decomp::Decomposition;
+pub use geometry::{Dir, Geometry, NeighborEntry};
+pub use layout_fn::{FieldLayout, LayoutKind};
+pub use subset::Subset;
+
+/// Number of spacetime dimensions.
+pub const ND: usize = 4;

@@ -1,0 +1,122 @@
+//! Subsets of the lattice: all sites or one checkerboard parity.
+//!
+//! QDP++ evaluates expressions on subsets (`psi[rb[0]] = ...`); even–odd
+//! preconditioned solvers in the application layer depend on this.
+
+use crate::geometry::Geometry;
+
+/// A subset of lattice sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Subset {
+    /// Every site.
+    #[default]
+    All,
+    /// Even-parity sites ((Σ coords) mod 2 == 0), QDP++ `rb[0]`.
+    Even,
+    /// Odd-parity sites, QDP++ `rb[1]`.
+    Odd,
+}
+
+impl Subset {
+    /// The checkerboard subset of the given parity.
+    pub fn checkerboard(parity: usize) -> Subset {
+        match parity % 2 {
+            0 => Subset::Even,
+            _ => Subset::Odd,
+        }
+    }
+
+    /// The complementary subset (All maps to itself).
+    pub fn other(self) -> Subset {
+        match self {
+            Subset::All => Subset::All,
+            Subset::Even => Subset::Odd,
+            Subset::Odd => Subset::Even,
+        }
+    }
+
+    /// Does the subset contain `site`?
+    pub fn contains(self, geom: &Geometry, site: usize) -> bool {
+        match self {
+            Subset::All => true,
+            Subset::Even => geom.parity(site) == 0,
+            Subset::Odd => geom.parity(site) == 1,
+        }
+    }
+
+    /// Materialise the site list (ascending).
+    pub fn sites(self, geom: &Geometry) -> Vec<u32> {
+        (0..geom.vol() as u32)
+            .filter(|&s| self.contains(geom, s as usize))
+            .collect()
+    }
+
+    /// Number of sites in the subset.
+    pub fn len(self, geom: &Geometry) -> usize {
+        match self {
+            Subset::All => geom.vol(),
+            // On even-volume lattices the parities split exactly in half;
+            // odd-extent lattices need the exact count.
+            Subset::Even | Subset::Odd => self.sites(geom).len(),
+        }
+    }
+
+    /// Is the subset empty on this geometry?
+    pub fn is_empty(self, geom: &Geometry) -> bool {
+        self.len(geom) == 0
+    }
+
+    /// Short tag for kernel names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Subset::All => "all",
+            Subset::Even => "even",
+            Subset::Odd => "odd",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parities_partition_the_lattice() {
+        let g = Geometry::new([4, 4, 4, 4]);
+        let even = Subset::Even.sites(&g);
+        let odd = Subset::Odd.sites(&g);
+        assert_eq!(even.len(), g.vol() / 2);
+        assert_eq!(odd.len(), g.vol() / 2);
+        let mut all: Vec<u32> = even.iter().chain(odd.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, Subset::All.sites(&g));
+    }
+
+    #[test]
+    fn odd_extent_lattice_counts() {
+        let g = Geometry::new([3, 3, 3, 3]);
+        // 81 sites: 41 even, 40 odd.
+        assert_eq!(Subset::Even.len(&g), 41);
+        assert_eq!(Subset::Odd.len(&g), 40);
+    }
+
+    #[test]
+    fn complement_and_tags() {
+        assert_eq!(Subset::Even.other(), Subset::Odd);
+        assert_eq!(Subset::All.other(), Subset::All);
+        assert_eq!(Subset::checkerboard(0), Subset::Even);
+        assert_eq!(Subset::checkerboard(3), Subset::Odd);
+        assert_eq!(Subset::Even.tag(), "even");
+    }
+
+    #[test]
+    fn contains_matches_sites() {
+        let g = Geometry::new([2, 3, 2, 3]);
+        for sub in [Subset::All, Subset::Even, Subset::Odd] {
+            let list = sub.sites(&g);
+            for s in 0..g.vol() {
+                assert_eq!(sub.contains(&g, s), list.contains(&(s as u32)));
+            }
+        }
+    }
+}

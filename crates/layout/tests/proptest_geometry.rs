@@ -1,0 +1,141 @@
+//! Property tests on geometry, layouts and subsets: bijections,
+//! involutions and exact partitions for arbitrary lattice shapes.
+
+use proptest::prelude::*;
+use qdp_layout::{Decomposition, Dir, FieldLayout, Geometry, LayoutKind, Subset};
+
+fn dims_strategy() -> impl Strategy<Value = [usize; 4]> {
+    // keep volumes small enough to enumerate
+    [1usize..7, 1usize..7, 1usize..7, 1usize..7]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// coord_of and index_of are inverse bijections.
+    #[test]
+    fn coord_index_bijection(dims in dims_strategy()) {
+        let g = Geometry::new(dims);
+        let mut seen = vec![false; g.vol()];
+        for i in 0..g.vol() {
+            let c = g.coord_of(i);
+            for mu in 0..4 {
+                prop_assert!(c[mu] < dims[mu]);
+            }
+            let j = g.index_of(c);
+            prop_assert_eq!(i, j);
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    /// forward∘backward = identity in every dimension.
+    #[test]
+    fn neighbor_involution(dims in dims_strategy(), mu in 0usize..4) {
+        let g = Geometry::new(dims);
+        for i in 0..g.vol() {
+            let (f, _) = g.neighbor(i, mu, Dir::Forward);
+            let (b, _) = g.neighbor(f, mu, Dir::Backward);
+            prop_assert_eq!(b, i);
+        }
+    }
+
+    /// L applications of a forward shift return to the start (periodicity).
+    #[test]
+    fn shift_periodicity(dims in dims_strategy(), mu in 0usize..4) {
+        let g = Geometry::new(dims);
+        let start = g.vol() / 2;
+        let mut s = start;
+        for _ in 0..dims[mu] {
+            s = g.neighbor(s, mu, Dir::Forward).0;
+        }
+        prop_assert_eq!(s, start);
+    }
+
+    /// Both layouts are bijections site×comp → [0, n_reals).
+    #[test]
+    fn layout_bijection(
+        n_sites in 1usize..200,
+        n_comp in 1usize..40,
+        aos in any::<bool>()
+    ) {
+        let kind = if aos { LayoutKind::AoS } else { LayoutKind::SoA };
+        let l = FieldLayout::new(kind, n_sites, n_comp);
+        let mut seen = vec![false; l.n_reals()];
+        for s in 0..n_sites {
+            for c in 0..n_comp {
+                let i = l.real_index(s, c);
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Even/odd partition the lattice exactly; neighbours alternate parity
+    /// iff the extent is even along the step.
+    #[test]
+    fn subsets_partition(dims in dims_strategy()) {
+        let g = Geometry::new(dims);
+        let even = Subset::Even.sites(&g);
+        let odd = Subset::Odd.sites(&g);
+        prop_assert_eq!(even.len() + odd.len(), g.vol());
+        let mut all: Vec<u32> = even.iter().chain(odd.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..g.vol() as u32).collect::<Vec<_>>());
+    }
+
+    /// Face slabs and inner sites partition the lattice for any face set.
+    #[test]
+    fn face_inner_partition(dims in dims_strategy(), mask in 0u8..=255) {
+        let g = Geometry::new(dims);
+        let mut faces = Vec::new();
+        for mu in 0..4 {
+            if mask & (1 << mu) != 0 {
+                faces.push((mu, Dir::Forward));
+            }
+            if mask & (1 << (mu + 4)) != 0 {
+                faces.push((mu, Dir::Backward));
+            }
+        }
+        let inner = g.inner_sites(&faces);
+        let face = g.face_union(&faces);
+        prop_assert_eq!(inner.len() + face.len(), g.vol());
+        let mut all: Vec<u32> = inner.iter().chain(face.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..g.vol() as u32).collect::<Vec<_>>());
+    }
+
+    /// face_slot is a bijection onto 0..face_vol for every slab.
+    #[test]
+    fn face_slots_dense(dims in dims_strategy(), mu in 0usize..4, fwd in any::<bool>()) {
+        let g = Geometry::new(dims);
+        let dir = if fwd { Dir::Forward } else { Dir::Backward };
+        let face = g.face_sites(mu, dir);
+        let mut seen = vec![false; g.face_vol(mu)];
+        for &s in &face {
+            let slot = g.face_slot(mu, s as usize);
+            prop_assert!(!seen[slot]);
+            seen[slot] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Decomposition tiles the global lattice exactly.
+    #[test]
+    fn decomposition_tiles(
+        ranks_bits in [0usize..3, 0usize..3, 0usize..3, 0usize..3]
+    ) {
+        let ranks: [usize; 4] = std::array::from_fn(|i| 1 << ranks_bits[i]);
+        let global: [usize; 4] = std::array::from_fn(|i| ranks[i] * 2);
+        let d = Decomposition::new(global, ranks);
+        let mut seen = std::collections::HashSet::new();
+        let lvol = d.local_geometry().vol();
+        for r in 0..d.n_ranks() {
+            for s in 0..lvol {
+                prop_assert!(seen.insert(d.global_coord(r, s)));
+            }
+        }
+        prop_assert_eq!(seen.len(), global.iter().product::<usize>());
+    }
+}

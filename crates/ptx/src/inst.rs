@@ -1,0 +1,611 @@
+//! The PTX instruction set emitted by the code generator.
+
+use crate::types::{PtxType, Reg};
+
+/// An instruction operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Floating-point immediate (stored as f64; emitted in the
+    /// instruction's type).
+    ImmF(f64),
+    /// Integer immediate.
+    ImmI(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+/// Special (read-only) registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// `%tid.x` — thread index within the block.
+    TidX,
+    /// `%ntid.x` — block dimension.
+    NtidX,
+    /// `%ctaid.x` — block index within the grid.
+    CtaidX,
+    /// `%nctaid.x` — grid dimension.
+    NctaidX,
+}
+
+impl SpecialReg {
+    /// PTX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::NtidX => "%ntid.x",
+            SpecialReg::CtaidX => "%ctaid.x",
+            SpecialReg::NctaidX => "%nctaid.x",
+        }
+    }
+
+    /// Parse a PTX spelling.
+    pub fn from_name(s: &str) -> Option<SpecialReg> {
+        Some(match s {
+            "%tid.x" => SpecialReg::TidX,
+            "%ntid.x" => SpecialReg::NtidX,
+            "%ctaid.x" => SpecialReg::CtaidX,
+            "%nctaid.x" => SpecialReg::NctaidX,
+            _ => return None,
+        })
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `neg`
+    Neg,
+    /// `abs`
+    Abs,
+    /// `not` (bitwise, integer only)
+    Not,
+    /// `sqrt.rn` (f32/f64)
+    Sqrt,
+    /// `rsqrt.approx` — fastmath
+    Rsqrt,
+    /// `sin.approx.f32` — fastmath (f32 only on hardware)
+    Sin,
+    /// `cos.approx.f32` — fastmath
+    Cos,
+    /// `lg2.approx.f32` — fastmath
+    Lg2,
+    /// `ex2.approx.f32` — fastmath
+    Ex2,
+    /// `rcp` reciprocal
+    Rcp,
+}
+
+impl UnOp {
+    /// PTX mnemonic (without type suffix).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Abs => "abs",
+            UnOp::Not => "not",
+            UnOp::Sqrt => "sqrt.rn",
+            UnOp::Rsqrt => "rsqrt.approx",
+            UnOp::Sin => "sin.approx",
+            UnOp::Cos => "cos.approx",
+            UnOp::Lg2 => "lg2.approx",
+            UnOp::Ex2 => "ex2.approx",
+            UnOp::Rcp => "rcp.rn",
+        }
+    }
+}
+
+/// Binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `mul` (for floats; for ints this is `mul.lo`)
+    Mul,
+    /// `div.rn` for floats, `div` for ints
+    Div,
+    /// `rem` (integer remainder)
+    Rem,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `and.bNN`
+    And,
+    /// `or.bNN`
+    Or,
+    /// `xor.bNN`
+    Xor,
+    /// `shl.bNN`
+    Shl,
+    /// `shr` (arithmetic for signed, logical for unsigned)
+    Shr,
+}
+
+impl BinOp {
+    /// PTX mnemonic for floating-point types.
+    pub fn mnemonic_float(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div.rn",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            _ => unreachable!("not a float op"),
+        }
+    }
+
+    /// PTX mnemonic for integer types.
+    pub fn mnemonic_int(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul.lo",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// equal
+    Eq,
+    /// not equal
+    Ne,
+    /// less than
+    Lt,
+    /// less or equal
+    Le,
+    /// greater than
+    Gt,
+    /// greater or equal
+    Ge,
+}
+
+impl CmpOp {
+    /// PTX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// Parse a PTX spelling.
+    pub fn from_name(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// Math subroutines the paper pre-generates with NVCC and pastes in as PTX
+/// functions (§III-D: "we manually created PTX subroutines for each of the
+/// functions"). The JIT interpreter implements these by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFn {
+    /// `sin` (DP; SP uses the fastmath `sin.approx.f32`)
+    Sin,
+    /// `cos`
+    Cos,
+    /// `exp`
+    Exp,
+    /// `log`
+    Log,
+    /// `tan`
+    Tan,
+    /// `atan`
+    Atan,
+    /// `asin`
+    Asin,
+    /// `acos`
+    Acos,
+    /// `sinh`
+    Sinh,
+    /// `cosh`
+    Cosh,
+    /// `tanh`
+    Tanh,
+    /// `pow` (binary)
+    Pow,
+}
+
+impl MathFn {
+    /// Subroutine symbol (precision suffix appended at emission).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            MathFn::Sin => "qdpjit_sin",
+            MathFn::Cos => "qdpjit_cos",
+            MathFn::Exp => "qdpjit_exp",
+            MathFn::Log => "qdpjit_log",
+            MathFn::Tan => "qdpjit_tan",
+            MathFn::Atan => "qdpjit_atan",
+            MathFn::Asin => "qdpjit_asin",
+            MathFn::Acos => "qdpjit_acos",
+            MathFn::Sinh => "qdpjit_sinh",
+            MathFn::Cosh => "qdpjit_cosh",
+            MathFn::Tanh => "qdpjit_tanh",
+            MathFn::Pow => "qdpjit_pow",
+        }
+    }
+
+    /// Inverse of [`MathFn::symbol`].
+    pub fn from_symbol(s: &str) -> Option<MathFn> {
+        Some(match s {
+            "qdpjit_sin" => MathFn::Sin,
+            "qdpjit_cos" => MathFn::Cos,
+            "qdpjit_exp" => MathFn::Exp,
+            "qdpjit_log" => MathFn::Log,
+            "qdpjit_tan" => MathFn::Tan,
+            "qdpjit_atan" => MathFn::Atan,
+            "qdpjit_asin" => MathFn::Asin,
+            "qdpjit_acos" => MathFn::Acos,
+            "qdpjit_sinh" => MathFn::Sinh,
+            "qdpjit_cosh" => MathFn::Cosh,
+            "qdpjit_tanh" => MathFn::Tanh,
+            "qdpjit_pow" => MathFn::Pow,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// Evaluate on f64 (used by the JIT interpreter; SP rounds the result).
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            MathFn::Sin => a.sin(),
+            MathFn::Cos => a.cos(),
+            MathFn::Exp => a.exp(),
+            MathFn::Log => a.ln(),
+            MathFn::Tan => a.tan(),
+            MathFn::Atan => a.atan(),
+            MathFn::Asin => a.asin(),
+            MathFn::Acos => a.acos(),
+            MathFn::Sinh => a.sinh(),
+            MathFn::Cosh => a.cosh(),
+            MathFn::Tanh => a.tanh(),
+            MathFn::Pow => a.powf(b),
+        }
+    }
+}
+
+/// One PTX instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `ld.param.<ty> dst, [param];`
+    LdParam {
+        /// Value type.
+        ty: PtxType,
+        /// Destination register.
+        dst: Reg,
+        /// Parameter name.
+        param: String,
+    },
+    /// `ld.global.<ty> dst, [addr+offset];`
+    LdGlobal {
+        /// Value type.
+        ty: PtxType,
+        /// Destination register.
+        dst: Reg,
+        /// Address register (byte address, 64-bit).
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// `st.global.<ty> [addr+offset], src;`
+    StGlobal {
+        /// Value type.
+        ty: PtxType,
+        /// Address register (byte address, 64-bit).
+        addr: Reg,
+        /// Constant byte offset.
+        offset: i64,
+        /// Value to store.
+        src: Operand,
+    },
+    /// `mov.<ty> dst, src;`
+    Mov {
+        /// Value type.
+        ty: PtxType,
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Operand,
+    },
+    /// `mov.u32 dst, %tid.x;` — read a special register.
+    MovSpecial {
+        /// Destination (32-bit).
+        dst: Reg,
+        /// Which special register.
+        sreg: SpecialReg,
+    },
+    /// `cvt[.rn].<dst_ty>.<src_ty> dst, src;`
+    Cvt {
+        /// Destination type.
+        dst_ty: PtxType,
+        /// Source type.
+        src_ty: PtxType,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Unary arithmetic (`neg`, `abs`, `sqrt.rn`, fastmath approximations).
+    Unary {
+        /// Operation.
+        op: UnOp,
+        /// Value type.
+        ty: PtxType,
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Operand,
+    },
+    /// Binary arithmetic / bit manipulation.
+    Binary {
+        /// Operation.
+        op: BinOp,
+        /// Value type.
+        ty: PtxType,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `mul.wide.<u32|s32> dst(64-bit), a(32-bit), b;`
+    MulWide {
+        /// Source type (32-bit; destination is the widened 64-bit type).
+        src_ty: PtxType,
+        /// 64-bit destination.
+        dst: Reg,
+        /// 32-bit left operand.
+        a: Reg,
+        /// Right operand (32-bit register or immediate).
+        b: Operand,
+    },
+    /// `mad.lo.<ty> dst, a, b, c;` — `dst = a*b + c` (low half for ints).
+    MadLo {
+        /// Value type.
+        ty: PtxType,
+        /// Destination.
+        dst: Reg,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// `fma.rn.<ty> dst, a, b, c;` — fused multiply-add (floats).
+    Fma {
+        /// Value type (f32/f64).
+        ty: PtxType,
+        /// Destination.
+        dst: Reg,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// `setp.<cmp>.<ty> dst, a, b;`
+    Setp {
+        /// Comparison.
+        cmp: CmpOp,
+        /// Operand type.
+        ty: PtxType,
+        /// Predicate destination.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `selp.<ty> dst, a, b, pred;` — `dst = pred ? a : b`.
+    Selp {
+        /// Value type.
+        ty: PtxType,
+        /// Destination.
+        dst: Reg,
+        /// Value if true.
+        a: Operand,
+        /// Value if false.
+        b: Operand,
+        /// Selector predicate.
+        pred: Reg,
+    },
+    /// `[@[!]pred] bra target;`
+    Bra {
+        /// Branch target label.
+        target: String,
+        /// Optional guard predicate `(reg, negated)`.
+        pred: Option<(Reg, bool)>,
+    },
+    /// `target:` — a label.
+    Label {
+        /// Label name.
+        name: String,
+    },
+    /// `call.uni (dst), func, (args...);` — math subroutine call (§III-D).
+    Call {
+        /// The subroutine.
+        func: MathFn,
+        /// Precision of the subroutine instance.
+        ty: PtxType,
+        /// Result register.
+        dst: Reg,
+        /// Argument registers.
+        args: Vec<Reg>,
+    },
+    /// `ret;`
+    Ret,
+}
+
+impl Inst {
+    /// Registers this instruction writes (for validation / liveness).
+    pub fn def_reg(&self) -> Option<Reg> {
+        match self {
+            Inst::LdParam { dst, .. }
+            | Inst::LdGlobal { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::MovSpecial { dst, .. }
+            | Inst::Cvt { dst, .. }
+            | Inst::Unary { dst, .. }
+            | Inst::Binary { dst, .. }
+            | Inst::MulWide { dst, .. }
+            | Inst::MadLo { dst, .. }
+            | Inst::Fma { dst, .. }
+            | Inst::Setp { dst, .. }
+            | Inst::Selp { dst, .. }
+            | Inst::Call { dst, .. } => Some(*dst),
+            Inst::StGlobal { .. } | Inst::Bra { .. } | Inst::Label { .. } | Inst::Ret => None,
+        }
+    }
+
+    /// Is this a global memory access, and how many bytes does it move?
+    /// Used by the device performance model to count kernel traffic.
+    pub fn global_bytes(&self) -> Option<(bool, usize)> {
+        match self {
+            Inst::LdGlobal { ty, .. } => Some((true, ty.size_bytes())),
+            Inst::StGlobal { ty, .. } => Some((false, ty.size_bytes())),
+            _ => None,
+        }
+    }
+
+    /// Floating-point operations performed (flop count for the performance
+    /// model; FMA counts as 2).
+    pub fn flops(&self) -> usize {
+        match self {
+            Inst::Unary { ty, .. } if ty.is_float() => 1,
+            Inst::Binary { ty, .. } if ty.is_float() => 1,
+            Inst::Fma { .. } => 2,
+            Inst::Call { .. } => 8, // nominal cost of a math subroutine
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegClass;
+
+    #[test]
+    fn special_reg_roundtrip() {
+        for s in [
+            SpecialReg::TidX,
+            SpecialReg::NtidX,
+            SpecialReg::CtaidX,
+            SpecialReg::NctaidX,
+        ] {
+            assert_eq!(SpecialReg::from_name(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn cmp_roundtrip() {
+        for c in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(CmpOp::from_name(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn mathfn_roundtrip_and_eval() {
+        for f in [
+            MathFn::Sin,
+            MathFn::Cos,
+            MathFn::Exp,
+            MathFn::Log,
+            MathFn::Pow,
+        ] {
+            assert_eq!(MathFn::from_symbol(f.symbol()), Some(f));
+        }
+        assert_eq!(MathFn::Pow.arity(), 2);
+        assert_eq!(MathFn::Sin.arity(), 1);
+        assert!((MathFn::Exp.eval(0.0, 0.0) - 1.0).abs() < 1e-15);
+        assert!((MathFn::Pow.eval(2.0, 10.0) - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let r = Reg::new(RegClass::F64, 1);
+        let fma = Inst::Fma {
+            ty: PtxType::F64,
+            dst: r,
+            a: r.into(),
+            b: r.into(),
+            c: r.into(),
+        };
+        assert_eq!(fma.flops(), 2);
+        let add = Inst::Binary {
+            op: BinOp::Add,
+            ty: PtxType::F32,
+            dst: Reg::new(RegClass::F32, 1),
+            a: Operand::ImmF(1.0),
+            b: Operand::ImmF(2.0),
+        };
+        assert_eq!(add.flops(), 1);
+        let iadd = Inst::Binary {
+            op: BinOp::Add,
+            ty: PtxType::U32,
+            dst: Reg::new(RegClass::B32, 1),
+            a: Operand::ImmI(1),
+            b: Operand::ImmI(2),
+        };
+        assert_eq!(iadd.flops(), 0);
+    }
+
+    #[test]
+    fn global_bytes() {
+        let addr = Reg::new(RegClass::B64, 1);
+        let ld = Inst::LdGlobal {
+            ty: PtxType::F64,
+            dst: Reg::new(RegClass::F64, 1),
+            addr,
+            offset: 0,
+        };
+        assert_eq!(ld.global_bytes(), Some((true, 8)));
+        let st = Inst::StGlobal {
+            ty: PtxType::F32,
+            addr,
+            offset: 16,
+            src: Operand::ImmF(0.0),
+        };
+        assert_eq!(st.global_bytes(), Some((false, 4)));
+    }
+}

@@ -1,0 +1,57 @@
+//! # qdp-ptx — PTX intermediate representation
+//!
+//! The paper implements its compute kernels *directly in the PTX language*
+//! (§III): the expression-template unparser drives a PTX code generator, and
+//! the resulting textual PTX program is handed to the NVIDIA driver JIT.
+//!
+//! This crate provides the corresponding pieces:
+//!
+//! * a typed register-based IR ([`inst::Inst`]) covering the arithmetic,
+//!   bit-manipulation and comparison operations the paper's generator
+//!   supports, plus `cvt` type-conversion instructions used for the
+//!   implicit type promotion of mixed-precision expressions (§III-D);
+//! * a [`module::KernelBuilder`] used by the expression unparser to build
+//!   kernels (virtual register allocation, parameter declarations, special
+//!   registers, guard/label plumbing);
+//! * a textual emitter ([`emit`]) producing PTX ISA 3.x-styled programs;
+//! * a parser ([`parse`]) playing the role of the driver front-end: the JIT
+//!   crate consumes PTX **text**, not this IR, so the full
+//!   generate → print → parse → lower chain is exercised exactly as in the
+//!   paper (Fig. 2);
+//! * "fastmath" special-function instructions and `call`s to pre-generated
+//!   math subroutines for the functions PTX lacks (§III-D).
+
+pub mod emit;
+pub mod inst;
+pub mod module;
+pub mod parse;
+pub mod types;
+
+pub use inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
+pub use module::{Kernel, KernelBuilder, Module, Param};
+pub use types::{PtxType, Reg, RegClass};
+
+/// Errors produced while building, validating or parsing PTX.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtxError {
+    /// Parse error with line number and message.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Validation error (bad types, undefined register/label/param).
+    Invalid(String),
+}
+
+impl std::fmt::Display for PtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PtxError::Parse { line, msg } => write!(f, "PTX parse error at line {line}: {msg}"),
+            PtxError::Invalid(msg) => write!(f, "invalid PTX: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtxError {}

@@ -1,0 +1,496 @@
+//! PTX kernels, modules and the builder used by the expression unparser.
+
+use crate::inst::{BinOp, CmpOp, Inst, Operand, SpecialReg};
+use crate::types::{PtxType, Reg, RegClass};
+use crate::PtxError;
+use std::collections::HashSet;
+
+/// A kernel parameter (`.param` space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (pointers are `.u64`).
+    pub ty: PtxType,
+}
+
+/// One `.entry` kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (also the cache key prefix).
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Instruction sequence.
+    pub body: Vec<Inst>,
+    /// Number of virtual registers in each class (in [`RegClass::all`]
+    /// order) — the `.reg` declarations and the JIT resource model input.
+    pub reg_counts: [u32; 5],
+}
+
+impl Kernel {
+    /// Registers per thread as seen by the occupancy model: 32-bit register
+    /// equivalents across all banks (f64/b64 count double, predicates one
+    /// each — matching how the real architecture allocates).
+    pub fn regs_per_thread(&self) -> u32 {
+        let classes = RegClass::all();
+        let mut total = 0u32;
+        for (i, c) in classes.iter().enumerate() {
+            let w = match c.width_bytes() {
+                8 => 2,
+                _ => 1,
+            };
+            total += self.reg_counts[i] * w;
+        }
+        total
+    }
+
+    /// Total global-memory traffic of one thread in bytes `(reads, writes)`.
+    pub fn thread_bytes(&self) -> (usize, usize) {
+        let mut r = 0;
+        let mut w = 0;
+        for inst in &self.body {
+            if let Some((is_load, b)) = inst.global_bytes() {
+                if is_load {
+                    r += b;
+                } else {
+                    w += b;
+                }
+            }
+        }
+        (r, w)
+    }
+
+    /// Floating-point operations of one thread.
+    pub fn thread_flops(&self) -> usize {
+        self.body.iter().map(|i| i.flops()).sum()
+    }
+
+    /// Validate internal consistency: parameters unique, labels resolve,
+    /// registers within declared counts, register classes match the
+    /// instruction types that write them.
+    pub fn validate(&self) -> Result<(), PtxError> {
+        let mut names = HashSet::new();
+        for p in &self.params {
+            if !names.insert(p.name.as_str()) {
+                return Err(PtxError::Invalid(format!("duplicate param {}", p.name)));
+            }
+        }
+        let labels: HashSet<&str> = self
+            .body
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Label { name } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let classes = RegClass::all();
+        let check_reg = |r: &Reg| -> Result<(), PtxError> {
+            let idx = classes.iter().position(|c| *c == r.class).unwrap();
+            if r.id >= self.reg_counts[idx] {
+                return Err(PtxError::Invalid(format!(
+                    "register {} out of declared range {}",
+                    r, self.reg_counts[idx]
+                )));
+            }
+            Ok(())
+        };
+        for inst in &self.body {
+            if let Some(d) = inst.def_reg() {
+                check_reg(&d)?;
+            }
+            match inst {
+                Inst::Bra { target, .. } => {
+                    if !labels.contains(target.as_str()) {
+                        return Err(PtxError::Invalid(format!("undefined label {target}")));
+                    }
+                }
+                Inst::LdParam { param, .. } => {
+                    if !self.params.iter().any(|p| &p.name == param) {
+                        return Err(PtxError::Invalid(format!("undefined param {param}")));
+                    }
+                }
+                Inst::Mov { ty, dst, .. }
+                | Inst::Unary { ty, dst, .. }
+                | Inst::Binary { ty, dst, .. }
+                | Inst::Fma { ty, dst, .. }
+                | Inst::MadLo { ty, dst, .. }
+                | Inst::Selp { ty, dst, .. }
+                | Inst::LdGlobal { ty, dst, .. } => {
+                    if dst.class != ty.reg_class() {
+                        return Err(PtxError::Invalid(format!(
+                            "register {dst} cannot hold {}",
+                            ty.suffix()
+                        )));
+                    }
+                }
+                Inst::Setp { dst, .. } => {
+                    if dst.class != RegClass::Pred {
+                        return Err(PtxError::Invalid("setp target must be a predicate".into()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A PTX module: version/target directives plus kernels (paper Fig. 2's
+/// "PTX" stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// PTX ISA version (the paper targets 3.1).
+    pub version: (u32, u32),
+    /// Target architecture string.
+    pub target: String,
+    /// Kernels in the module (the generator emits one per expression).
+    pub kernels: Vec<Kernel>,
+}
+
+impl Module {
+    /// A module with the paper's directives (`.version 3.1`,
+    /// `.target sm_35` — K20x is GK110/sm_35).
+    pub fn new() -> Module {
+        Module {
+            version: (3, 1),
+            target: "sm_35".to_string(),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Build a single-kernel module.
+    pub fn with_kernel(kernel: Kernel) -> Module {
+        let mut m = Module::new();
+        m.kernels.push(kernel);
+        m
+    }
+
+    /// Validate all kernels.
+    pub fn validate(&self) -> Result<(), PtxError> {
+        for k in &self.kernels {
+            k.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Module::new()
+    }
+}
+
+/// Incremental kernel builder used by the expression unparser: hands out
+/// virtual registers ("JIT values", §III-A) and appends instructions.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    body: Vec<Inst>,
+    next_reg: [u32; 5],
+    next_label: u32,
+}
+
+impl KernelBuilder {
+    /// Start a kernel.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            body: Vec::new(),
+            next_reg: [0; 5],
+            next_label: 0,
+        }
+    }
+
+    /// Declare a parameter; returns its name for `ld.param`.
+    pub fn param(&mut self, name: impl Into<String>, ty: PtxType) -> String {
+        let name = name.into();
+        debug_assert!(
+            !self.params.iter().any(|p| p.name == name),
+            "duplicate param {name}"
+        );
+        self.params.push(Param {
+            name: name.clone(),
+            ty,
+        });
+        name
+    }
+
+    /// Allocate a fresh virtual register of the given class.
+    pub fn fresh(&mut self, class: RegClass) -> Reg {
+        let idx = RegClass::all().iter().position(|c| *c == class).unwrap();
+        let id = self.next_reg[idx];
+        self.next_reg[idx] += 1;
+        Reg::new(class, id)
+    }
+
+    /// Allocate a register that can hold a value of `ty`.
+    pub fn fresh_for(&mut self, ty: PtxType) -> Reg {
+        self.fresh(ty.reg_class())
+    }
+
+    /// Append an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.body.push(inst);
+    }
+
+    /// Generate a unique label with the given stem.
+    pub fn label(&mut self, stem: &str) -> String {
+        let l = format!("${stem}_{}", self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Place a label here.
+    pub fn bind_label(&mut self, name: &str) {
+        self.body.push(Inst::Label {
+            name: name.to_string(),
+        });
+    }
+
+    // --- convenience emitters used heavily by codegen -----------------------
+
+    /// `ld.param` into a fresh register.
+    pub fn ld_param(&mut self, param: &str, ty: PtxType) -> Reg {
+        let dst = self.fresh_for(ty);
+        self.push(Inst::LdParam {
+            ty,
+            dst,
+            param: param.to_string(),
+        });
+        dst
+    }
+
+    /// Read a special register into a fresh 32-bit register.
+    pub fn special(&mut self, sreg: SpecialReg) -> Reg {
+        let dst = self.fresh(RegClass::B32);
+        self.push(Inst::MovSpecial { dst, sreg });
+        dst
+    }
+
+    /// Binary op into a fresh register.
+    pub fn bin(&mut self, op: BinOp, ty: PtxType, a: Operand, b: Operand) -> Reg {
+        let dst = self.fresh_for(ty);
+        self.push(Inst::Binary { op, ty, dst, a, b });
+        dst
+    }
+
+    /// `fma.rn` into a fresh register.
+    pub fn fma(&mut self, ty: PtxType, a: Operand, b: Operand, c: Operand) -> Reg {
+        let dst = self.fresh_for(ty);
+        self.push(Inst::Fma { ty, dst, a, b, c });
+        dst
+    }
+
+    /// `mov` an operand into a fresh register.
+    pub fn mov(&mut self, ty: PtxType, src: Operand) -> Reg {
+        let dst = self.fresh_for(ty);
+        self.push(Inst::Mov { ty, dst, src });
+        dst
+    }
+
+    /// `cvt` from one type to another (fresh destination). Implements the
+    /// implicit type promotion of §III-D.
+    pub fn cvt(&mut self, dst_ty: PtxType, src_ty: PtxType, src: Reg) -> Reg {
+        let dst = self.fresh_for(dst_ty);
+        self.push(Inst::Cvt {
+            dst_ty,
+            src_ty,
+            dst,
+            src,
+        });
+        dst
+    }
+
+    /// Compute the global thread index `ctaid.x * ntid.x + tid.x`, the
+    /// paper's site index `iV` ("the loop over the site index is implemented
+    /// by CUDA thread parallelisation", §III-C).
+    pub fn global_tid(&mut self) -> Reg {
+        let ctaid = self.special(SpecialReg::CtaidX);
+        let ntid = self.special(SpecialReg::NtidX);
+        let tid = self.special(SpecialReg::TidX);
+        let dst = self.fresh(RegClass::B32);
+        self.push(Inst::MadLo {
+            ty: PtxType::U32,
+            dst,
+            a: ctaid.into(),
+            b: ntid.into(),
+            c: tid.into(),
+        });
+        dst
+    }
+
+    /// Emit the bounds guard: threads with `tid >= n` jump to the exit
+    /// label (which the caller must bind before `ret`). Returns the label.
+    pub fn guard(&mut self, tid: Reg, n: Reg) -> String {
+        let exit = self.label("exit");
+        let p = self.fresh(RegClass::Pred);
+        self.push(Inst::Setp {
+            cmp: CmpOp::Ge,
+            ty: PtxType::U32,
+            dst: p,
+            a: tid.into(),
+            b: n.into(),
+        });
+        self.push(Inst::Bra {
+            target: exit.clone(),
+            pred: Some((p, false)),
+        });
+        exit
+    }
+
+    /// Finish: bind nothing further, seal the register counts.
+    pub fn finish(mut self) -> Kernel {
+        if !matches!(self.body.last(), Some(Inst::Ret)) {
+            self.body.push(Inst::Ret);
+        }
+        Kernel {
+            name: self.name,
+            params: self.params,
+            body: self.body,
+            reg_counts: self.next_reg,
+        }
+    }
+
+    /// Current instruction count (codegen statistics).
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Is the body empty so far?
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_kernel() -> Kernel {
+        // out[i] = a[i] + b[i] over n f32 elements
+        let mut b = KernelBuilder::new("vadd_f32");
+        let p_out = b.param("out", PtxType::U64);
+        let p_a = b.param("a", PtxType::U64);
+        let p_b = b.param("b", PtxType::U64);
+        let p_n = b.param("n", PtxType::U32);
+
+        let tid = b.global_tid();
+        let n = b.ld_param(&p_n, PtxType::U32);
+        let exit = b.guard(tid, n);
+
+        let byte_off = b.fresh(RegClass::B64);
+        b.push(Inst::MulWide {
+            src_ty: PtxType::U32,
+            dst: byte_off,
+            a: tid,
+            b: Operand::ImmI(4),
+        });
+
+        let base_a = b.ld_param(&p_a, PtxType::U64);
+        let addr_a = b.bin(BinOp::Add, PtxType::U64, base_a.into(), byte_off.into());
+        let va = b.fresh(RegClass::F32);
+        b.push(Inst::LdGlobal {
+            ty: PtxType::F32,
+            dst: va,
+            addr: addr_a,
+            offset: 0,
+        });
+
+        let base_b = b.ld_param(&p_b, PtxType::U64);
+        let addr_b = b.bin(BinOp::Add, PtxType::U64, base_b.into(), byte_off.into());
+        let vb = b.fresh(RegClass::F32);
+        b.push(Inst::LdGlobal {
+            ty: PtxType::F32,
+            dst: vb,
+            addr: addr_b,
+            offset: 0,
+        });
+
+        let sum = b.bin(BinOp::Add, PtxType::F32, va.into(), vb.into());
+
+        let base_o = b.ld_param(&p_out, PtxType::U64);
+        let addr_o = b.bin(BinOp::Add, PtxType::U64, base_o.into(), byte_off.into());
+        b.push(Inst::StGlobal {
+            ty: PtxType::F32,
+            addr: addr_o,
+            offset: 0,
+            src: sum.into(),
+        });
+
+        b.bind_label(&exit);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_valid_kernel() {
+        let k = simple_kernel();
+        k.validate().unwrap();
+        assert_eq!(k.params.len(), 4);
+        assert!(matches!(k.body.last(), Some(Inst::Ret)));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let k = simple_kernel();
+        let (r, w) = k.thread_bytes();
+        assert_eq!(r, 8); // two f32 loads
+        assert_eq!(w, 4); // one f32 store
+        assert_eq!(k.thread_flops(), 1);
+    }
+
+    #[test]
+    fn register_counting() {
+        let k = simple_kernel();
+        assert!(k.regs_per_thread() > 0);
+        // three f32 registers were allocated
+        assert_eq!(k.reg_counts[0], 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_label() {
+        let mut b = KernelBuilder::new("bad");
+        b.push(Inst::Bra {
+            target: "$nowhere".into(),
+            pred: None,
+        });
+        let k = b.finish();
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_param() {
+        let mut b = KernelBuilder::new("bad");
+        let r = b.fresh(RegClass::B64);
+        b.push(Inst::LdParam {
+            ty: PtxType::U64,
+            dst: r,
+            param: "missing".into(),
+        });
+        let k = b.finish();
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_class_mismatch() {
+        let mut b = KernelBuilder::new("bad");
+        let r = b.fresh(RegClass::F32);
+        b.push(Inst::Mov {
+            ty: PtxType::F64,
+            dst: r,
+            src: Operand::ImmF(1.0),
+        });
+        let k = b.finish();
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut b = KernelBuilder::new("k");
+        let l1 = b.label("x");
+        let l2 = b.label("x");
+        assert_ne!(l1, l2);
+    }
+}

@@ -1,0 +1,764 @@
+//! PTX text parser — the front half of the simulated driver JIT.
+//!
+//! The JIT crate consumes the *textual* PTX produced by the code generator,
+//! exactly like the NVIDIA compute compile driver in the paper (Fig. 2), so
+//! the full generate → print → parse → lower chain is exercised. The parser
+//! accepts the dialect the emitter produces (plus minor whitespace/comment
+//! freedom) and rejects malformed programs with line-accurate errors.
+
+use crate::inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
+use crate::module::{Kernel, Module, Param};
+use crate::types::{PtxType, Reg, RegClass};
+use crate::PtxError;
+
+fn err(line: usize, msg: impl Into<String>) -> PtxError {
+    PtxError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parse a register like `%fd12`.
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, PtxError> {
+    let classes = [
+        ("%fd", RegClass::F64),
+        ("%rd", RegClass::B64),
+        ("%f", RegClass::F32),
+        ("%r", RegClass::B32),
+        ("%p", RegClass::Pred),
+    ];
+    for (prefix, class) in classes {
+        if let Some(rest) = tok.strip_prefix(prefix) {
+            if let Ok(id) = rest.parse::<u32>() {
+                return Ok(Reg::new(class, id));
+            }
+        }
+    }
+    Err(err(line, format!("bad register `{tok}`")))
+}
+
+/// Parse an operand: register, `0f`/`0d` float-bit immediate, or integer.
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, PtxError> {
+    if tok.starts_with('%') {
+        return Ok(Operand::Reg(parse_reg(tok, line)?));
+    }
+    if let Some(hex) = tok.strip_prefix("0f") {
+        let bits =
+            u32::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad f32 imm `{tok}`")))?;
+        return Ok(Operand::ImmF(f32::from_bits(bits) as f64));
+    }
+    if let Some(hex) = tok.strip_prefix("0d") {
+        let bits =
+            u64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad f64 imm `{tok}`")))?;
+        return Ok(Operand::ImmF(f64::from_bits(bits)));
+    }
+    tok.parse::<i64>()
+        .map(Operand::ImmI)
+        .map_err(|_| err(line, format!("bad operand `{tok}`")))
+}
+
+/// Parse a memory operand `[name]` or `[%rd3]` or `[%rd3+16]`.
+/// Returns either a param name or (register, offset).
+enum MemRef {
+    Param(String),
+    Addr(Reg, i64),
+}
+
+fn parse_memref(tok: &str, line: usize) -> Result<MemRef, PtxError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("bad memory operand `{tok}`")))?;
+    if inner.starts_with('%') {
+        if let Some((r, off)) = inner.split_once('+') {
+            let reg = parse_reg(r.trim(), line)?;
+            let offset = off
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| err(line, format!("bad offset `{off}`")))?;
+            Ok(MemRef::Addr(reg, offset))
+        } else if let Some((r, off)) = inner.split_once('-') {
+            let reg = parse_reg(r.trim(), line)?;
+            let offset = off
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| err(line, format!("bad offset `{off}`")))?;
+            Ok(MemRef::Addr(reg, -offset))
+        } else {
+            Ok(MemRef::Addr(parse_reg(inner, line)?, 0))
+        }
+    } else {
+        Ok(MemRef::Param(inner.to_string()))
+    }
+}
+
+/// Split an instruction's operand text on top-level commas (no nesting in
+/// PTX operands except call argument lists, handled separately).
+fn split_operands(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn type_from(parts: &[&str], idx: usize, line: usize) -> Result<PtxType, PtxError> {
+    parts
+        .get(idx)
+        .and_then(|s| PtxType::from_suffix(s))
+        .ok_or_else(|| err(line, format!("missing/bad type suffix in `{}`", parts.join("."))))
+}
+
+/// `b32`/`b64` suffixes map to unsigned types of that width.
+fn type_from_bits(s: &str) -> Option<PtxType> {
+    match s {
+        "b32" => Some(PtxType::U32),
+        "b64" => Some(PtxType::U64),
+        other => PtxType::from_suffix(other),
+    }
+}
+
+/// Parse one instruction line (already stripped, non-empty, without label
+/// or predicate prefix handling — those are done by the caller).
+fn parse_plain_inst(text: &str, line: usize) -> Result<Inst, PtxError> {
+    let text = text.trim_end_matches(';').trim();
+    let (opcode, rest) = match text.split_once(char::is_whitespace) {
+        Some((o, r)) => (o, r.trim()),
+        None => (text, ""),
+    };
+    let parts: Vec<&str> = opcode.split('.').collect();
+    let ops = split_operands(rest);
+
+    let reg0 = |i: usize| -> Result<Reg, PtxError> {
+        ops.get(i)
+            .ok_or_else(|| err(line, "missing operand"))
+            .and_then(|t| parse_reg(t, line))
+    };
+    let opnd = |i: usize| -> Result<Operand, PtxError> {
+        ops.get(i)
+            .ok_or_else(|| err(line, "missing operand"))
+            .and_then(|t| parse_operand(t, line))
+    };
+
+    match parts[0] {
+        "ld" => {
+            let space = *parts.get(1).ok_or_else(|| err(line, "ld needs space"))?;
+            let ty = type_from(&parts, 2, line)?;
+            let dst = reg0(0)?;
+            let mem = parse_memref(ops.get(1).ok_or_else(|| err(line, "missing addr"))?, line)?;
+            match (space, mem) {
+                ("param", MemRef::Param(p)) => Ok(Inst::LdParam { ty, dst, param: p }),
+                ("global", MemRef::Addr(addr, offset)) => Ok(Inst::LdGlobal {
+                    ty,
+                    dst,
+                    addr,
+                    offset,
+                }),
+                _ => Err(err(line, "unsupported ld form")),
+            }
+        }
+        "st" => {
+            if parts.get(1) != Some(&"global") {
+                return Err(err(line, "only st.global supported"));
+            }
+            let ty = type_from(&parts, 2, line)?;
+            let mem = parse_memref(ops.first().ok_or_else(|| err(line, "missing addr"))?, line)?;
+            let src = opnd(1)?;
+            match mem {
+                MemRef::Addr(addr, offset) => Ok(Inst::StGlobal {
+                    ty,
+                    addr,
+                    offset,
+                    src,
+                }),
+                _ => Err(err(line, "st.global needs an address")),
+            }
+        }
+        "mov" => {
+            let ty = type_from(&parts, 1, line)?;
+            let dst = reg0(0)?;
+            let src_tok = ops.get(1).ok_or_else(|| err(line, "missing operand"))?;
+            if let Some(sreg) = SpecialReg::from_name(src_tok) {
+                Ok(Inst::MovSpecial { dst, sreg })
+            } else {
+                Ok(Inst::Mov {
+                    ty,
+                    dst,
+                    src: parse_operand(src_tok, line)?,
+                })
+            }
+        }
+        "cvt" => {
+            // cvt[.rn|.rzi].<dst>.<src>
+            let mut idx = 1;
+            while matches!(parts.get(idx), Some(&"rn") | Some(&"rzi") | Some(&"rz")) {
+                idx += 1;
+            }
+            let dst_ty = type_from(&parts, idx, line)?;
+            let src_ty = type_from(&parts, idx + 1, line)?;
+            Ok(Inst::Cvt {
+                dst_ty,
+                src_ty,
+                dst: reg0(0)?,
+                src: reg0(1)?,
+            })
+        }
+        "neg" | "abs" | "not" => {
+            let op = match parts[0] {
+                "neg" => UnOp::Neg,
+                "abs" => UnOp::Abs,
+                _ => UnOp::Not,
+            };
+            let ty = parts
+                .get(1)
+                .and_then(|s| type_from_bits(s))
+                .ok_or_else(|| err(line, "bad unary type"))?;
+            Ok(Inst::Unary {
+                op,
+                ty,
+                dst: reg0(0)?,
+                src: opnd(1)?,
+            })
+        }
+        "sqrt" | "rsqrt" | "sin" | "cos" | "lg2" | "ex2" | "rcp" => {
+            let op = match parts[0] {
+                "sqrt" => UnOp::Sqrt,
+                "rsqrt" => UnOp::Rsqrt,
+                "sin" => UnOp::Sin,
+                "cos" => UnOp::Cos,
+                "lg2" => UnOp::Lg2,
+                "ex2" => UnOp::Ex2,
+                _ => UnOp::Rcp,
+            };
+            // skip .rn / .approx modifiers
+            let ty = parts
+                .iter()
+                .skip(1)
+                .find_map(|s| PtxType::from_suffix(s))
+                .ok_or_else(|| err(line, "bad special-fn type"))?;
+            Ok(Inst::Unary {
+                op,
+                ty,
+                dst: reg0(0)?,
+                src: opnd(1)?,
+            })
+        }
+        "add" | "sub" | "min" | "max" | "rem" | "and" | "or" | "xor" | "shl" | "shr" => {
+            let op = match parts[0] {
+                "add" => BinOp::Add,
+                "sub" => BinOp::Sub,
+                "min" => BinOp::Min,
+                "max" => BinOp::Max,
+                "rem" => BinOp::Rem,
+                "and" => BinOp::And,
+                "or" => BinOp::Or,
+                "xor" => BinOp::Xor,
+                "shl" => BinOp::Shl,
+                _ => BinOp::Shr,
+            };
+            let ty = parts
+                .get(1)
+                .and_then(|s| type_from_bits(s))
+                .ok_or_else(|| err(line, "bad binary type"))?;
+            Ok(Inst::Binary {
+                op,
+                ty,
+                dst: reg0(0)?,
+                a: opnd(1)?,
+                b: opnd(2)?,
+            })
+        }
+        "mul" => match parts.get(1) {
+            Some(&"wide") => {
+                let src_ty = type_from(&parts, 2, line)?;
+                Ok(Inst::MulWide {
+                    src_ty,
+                    dst: reg0(0)?,
+                    a: reg0(1)?,
+                    b: opnd(2)?,
+                })
+            }
+            Some(&"lo") => {
+                let ty = type_from(&parts, 2, line)?;
+                Ok(Inst::Binary {
+                    op: BinOp::Mul,
+                    ty,
+                    dst: reg0(0)?,
+                    a: opnd(1)?,
+                    b: opnd(2)?,
+                })
+            }
+            _ => {
+                let ty = type_from(&parts, 1, line)?;
+                Ok(Inst::Binary {
+                    op: BinOp::Mul,
+                    ty,
+                    dst: reg0(0)?,
+                    a: opnd(1)?,
+                    b: opnd(2)?,
+                })
+            }
+        },
+        "div" => {
+            // div.rn.fNN or div.uNN
+            let ty = parts
+                .iter()
+                .skip(1)
+                .find_map(|s| PtxType::from_suffix(s))
+                .ok_or_else(|| err(line, "bad div type"))?;
+            Ok(Inst::Binary {
+                op: BinOp::Div,
+                ty,
+                dst: reg0(0)?,
+                a: opnd(1)?,
+                b: opnd(2)?,
+            })
+        }
+        "mad" => {
+            if parts.get(1) != Some(&"lo") {
+                return Err(err(line, "only mad.lo supported"));
+            }
+            let ty = type_from(&parts, 2, line)?;
+            Ok(Inst::MadLo {
+                ty,
+                dst: reg0(0)?,
+                a: opnd(1)?,
+                b: opnd(2)?,
+                c: opnd(3)?,
+            })
+        }
+        "fma" => {
+            let ty = parts
+                .iter()
+                .skip(1)
+                .find_map(|s| PtxType::from_suffix(s))
+                .ok_or_else(|| err(line, "bad fma type"))?;
+            Ok(Inst::Fma {
+                ty,
+                dst: reg0(0)?,
+                a: opnd(1)?,
+                b: opnd(2)?,
+                c: opnd(3)?,
+            })
+        }
+        "setp" => {
+            let cmp = parts
+                .get(1)
+                .and_then(|s| CmpOp::from_name(s))
+                .ok_or_else(|| err(line, "bad setp comparison"))?;
+            let ty = type_from(&parts, 2, line)?;
+            Ok(Inst::Setp {
+                cmp,
+                ty,
+                dst: reg0(0)?,
+                a: opnd(1)?,
+                b: opnd(2)?,
+            })
+        }
+        "selp" => {
+            let ty = parts
+                .get(1)
+                .and_then(|s| type_from_bits(s))
+                .ok_or_else(|| err(line, "bad selp type"))?;
+            Ok(Inst::Selp {
+                ty,
+                dst: reg0(0)?,
+                a: opnd(1)?,
+                b: opnd(2)?,
+                pred: reg0(3)?,
+            })
+        }
+        "bra" => Ok(Inst::Bra {
+            target: rest.trim().to_string(),
+            pred: None,
+        }),
+        "call" => {
+            // call.uni (dst), sym, (args)
+            let inner = rest.replace(['(', ')'], "");
+            let toks = split_operands(&inner);
+            if toks.len() < 2 {
+                return Err(err(line, "bad call"));
+            }
+            let dst = parse_reg(&toks[0], line)?;
+            let sym = &toks[1];
+            let (base, ty) = if let Some(b) = sym.strip_suffix("_f64") {
+                (b, PtxType::F64)
+            } else if let Some(b) = sym.strip_suffix("_f32") {
+                (b, PtxType::F32)
+            } else {
+                return Err(err(line, format!("unknown subroutine `{sym}`")));
+            };
+            let func = MathFn::from_symbol(base)
+                .ok_or_else(|| err(line, format!("unknown subroutine `{sym}`")))?;
+            let args = toks[2..]
+                .iter()
+                .map(|t| parse_reg(t, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            if args.len() != func.arity() {
+                return Err(err(line, format!("{sym} expects {} args", func.arity())));
+            }
+            Ok(Inst::Call { func, ty, dst, args })
+        }
+        "ret" => Ok(Inst::Ret),
+        other => Err(err(line, format!("unknown opcode `{other}`"))),
+    }
+}
+
+fn parse_inst(text: &str, line: usize) -> Result<Inst, PtxError> {
+    let text = text.trim();
+    // label?
+    if let Some(name) = text.strip_suffix(':') {
+        if !name.contains(char::is_whitespace) {
+            return Ok(Inst::Label {
+                name: name.to_string(),
+            });
+        }
+    }
+    // predicated branch?
+    if let Some(rest) = text.strip_prefix('@') {
+        let (pred_tok, body) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(line, "bad predicated instruction"))?;
+        let (negated, reg_tok) = match pred_tok.strip_prefix('!') {
+            Some(r) => (true, r),
+            None => (false, pred_tok),
+        };
+        let pred = parse_reg(reg_tok, line)?;
+        let inner = parse_plain_inst(body, line)?;
+        match inner {
+            Inst::Bra { target, .. } => {
+                return Ok(Inst::Bra {
+                    target,
+                    pred: Some((pred, negated)),
+                })
+            }
+            _ => return Err(err(line, "only branches may be predicated")),
+        }
+    }
+    parse_plain_inst(text, line)
+}
+
+/// Parse a complete PTX module from text.
+pub fn parse_module(text: &str) -> Result<Module, PtxError> {
+    let mut module = Module::new();
+    module.kernels.clear();
+
+    // Strip comments; keep line numbers.
+    let lines: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = match l.find("//") {
+                Some(p) => &l[..p],
+                None => l,
+            };
+            (i + 1, l.trim().to_string())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (lineno, line) = (&lines[i].0, lines[i].1.as_str());
+        if let Some(v) = line.strip_prefix(".version") {
+            let v = v.trim();
+            let (maj, min) = v
+                .split_once('.')
+                .ok_or_else(|| err(*lineno, "bad .version"))?;
+            module.version = (
+                maj.parse().map_err(|_| err(*lineno, "bad version"))?,
+                min.parse().map_err(|_| err(*lineno, "bad version"))?,
+            );
+            i += 1;
+        } else if let Some(t) = line.strip_prefix(".target") {
+            module.target = t.trim().to_string();
+            i += 1;
+        } else if line.starts_with(".address_size") || line.starts_with(".extern") {
+            i += 1;
+        } else if line.starts_with(".visible .entry") || line.starts_with(".entry") {
+            // Gather the header until the opening brace.
+            let mut header = String::new();
+            let start_line = *lineno;
+            while i < lines.len() {
+                let l = lines[i].1.as_str();
+                if l == "{" {
+                    i += 1;
+                    break;
+                }
+                // header line may end with "{"
+                if let Some(h) = l.strip_suffix('{') {
+                    header.push_str(h);
+                    header.push(' ');
+                    i += 1;
+                    break;
+                }
+                header.push_str(l);
+                header.push(' ');
+                i += 1;
+            }
+            let kernel_start = header
+                .find(".entry")
+                .ok_or_else(|| err(start_line, "missing .entry"))?
+                + ".entry".len();
+            let after = header[kernel_start..].trim();
+            let paren = after
+                .find('(')
+                .ok_or_else(|| err(start_line, "missing parameter list"))?;
+            let name = after[..paren].trim().to_string();
+            let close = after
+                .rfind(')')
+                .ok_or_else(|| err(start_line, "missing `)`"))?;
+            let mut params = Vec::new();
+            for ptext in after[paren + 1..close].split(',') {
+                let ptext = ptext.trim();
+                if ptext.is_empty() {
+                    continue;
+                }
+                // ".param .u64 name"
+                let toks: Vec<&str> = ptext.split_whitespace().collect();
+                if toks.len() != 3 || toks[0] != ".param" {
+                    return Err(err(start_line, format!("bad parameter `{ptext}`")));
+                }
+                let ty = toks[1]
+                    .strip_prefix('.')
+                    .and_then(PtxType::from_suffix)
+                    .ok_or_else(|| err(start_line, format!("bad param type `{}`", toks[1])))?;
+                params.push(Param {
+                    name: toks[2].to_string(),
+                    ty,
+                });
+            }
+
+            // Body until matching '}'.
+            let mut body = Vec::new();
+            let mut reg_counts = [0u32; 5];
+            let mut closed = false;
+            while i < lines.len() {
+                let (ln, l) = (lines[i].0, lines[i].1.as_str());
+                if l == "}" {
+                    i += 1;
+                    closed = true;
+                    break;
+                }
+                if let Some(decl) = l.strip_prefix(".reg") {
+                    // ".reg .f32 %f<3>;"
+                    let decl = decl.trim().trim_end_matches(';');
+                    let toks: Vec<&str> = decl.split_whitespace().collect();
+                    if toks.len() != 2 {
+                        return Err(err(ln, "bad .reg declaration"));
+                    }
+                    let class = RegClass::all()
+                        .into_iter()
+                        .find(|c| c.decl_type() == toks[0])
+                        .ok_or_else(|| err(ln, format!("bad reg class `{}`", toks[0])))?;
+                    let count = toks[1]
+                        .trim_start_matches(class.prefix())
+                        .trim_start_matches('<')
+                        .trim_end_matches('>')
+                        .parse::<u32>()
+                        .map_err(|_| err(ln, "bad reg count"))?;
+                    let idx = RegClass::all().iter().position(|c| *c == class).unwrap();
+                    reg_counts[idx] = count;
+                    i += 1;
+                    continue;
+                }
+                body.push(parse_inst(l, ln)?);
+                i += 1;
+            }
+            if !closed {
+                return Err(err(start_line, "unterminated kernel body"));
+            }
+            module.kernels.push(Kernel {
+                name,
+                params,
+                body,
+                reg_counts,
+            });
+        } else {
+            return Err(err(*lineno, format!("unexpected line `{line}`")));
+        }
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{emit_module, float_imm};
+    use crate::module::KernelBuilder;
+
+    fn vadd_module() -> Module {
+        let mut b = KernelBuilder::new("vadd_f64");
+        let p_out = b.param("out", PtxType::U64);
+        let p_a = b.param("a", PtxType::U64);
+        let p_n = b.param("n", PtxType::U32);
+        let tid = b.global_tid();
+        let n = b.ld_param(&p_n, PtxType::U32);
+        let exit = b.guard(tid, n);
+        let off = b.fresh(RegClass::B64);
+        b.push(Inst::MulWide {
+            src_ty: PtxType::U32,
+            dst: off,
+            a: tid,
+            b: Operand::ImmI(8),
+        });
+        let base_a = b.ld_param(&p_a, PtxType::U64);
+        let addr = b.bin(BinOp::Add, PtxType::U64, base_a.into(), off.into());
+        let v = b.fresh(RegClass::F64);
+        b.push(Inst::LdGlobal {
+            ty: PtxType::F64,
+            dst: v,
+            addr,
+            offset: 0,
+        });
+        let two = b.mov(PtxType::F64, Operand::ImmF(2.0));
+        let doubled = b.fma(PtxType::F64, v.into(), two.into(), Operand::ImmF(0.5));
+        let base_o = b.ld_param(&p_out, PtxType::U64);
+        let addr_o = b.bin(BinOp::Add, PtxType::U64, base_o.into(), off.into());
+        b.push(Inst::StGlobal {
+            ty: PtxType::F64,
+            addr: addr_o,
+            offset: 16,
+            src: doubled.into(),
+        });
+        b.bind_label(&exit);
+        Module::with_kernel(b.finish())
+    }
+
+    #[test]
+    fn roundtrip_ir_equality() {
+        let m = vadd_module();
+        let text = emit_module(&m);
+        let parsed = parse_module(&text).expect("parse emitted PTX");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn roundtrip_text_idempotent() {
+        let m = vadd_module();
+        let t1 = emit_module(&m);
+        let t2 = emit_module(&parse_module(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn parses_float_immediates_exactly() {
+        for v in [0.0f64, 1.0, -1.5, std::f64::consts::PI, 1e-300, f64::MAX] {
+            let tok = float_imm(PtxType::F64, v);
+            match parse_operand(&tok, 1).unwrap() {
+                Operand::ImmF(x) => assert_eq!(x.to_bits(), v.to_bits()),
+                _ => panic!("not a float imm"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let text = "\
+.version 3.1
+.target sm_35
+.address_size 64
+.visible .entry k(
+\t.param .u32 n
+)
+{
+\tfrobnicate.f32 %f0, %f1;
+}
+";
+        let e = parse_module(text).unwrap_err();
+        match e {
+            PtxError::Parse { line, .. } => assert_eq!(line, 8),
+            _ => panic!("wrong error kind"),
+        }
+    }
+
+    #[test]
+    fn rejects_unterminated_kernel() {
+        let text = "\
+.version 3.1
+.target sm_35
+.visible .entry k(
+\t.param .u32 n
+)
+{
+\tret;
+";
+        assert!(parse_module(text).is_err());
+    }
+
+    #[test]
+    fn parses_predicated_branch_and_labels() {
+        let text = "\
+.version 3.1
+.target sm_35
+.visible .entry k(
+\t.param .u32 n
+)
+{
+\t.reg .pred %p<1>;
+\t@!%p0 bra $skip_1;
+$skip_1:
+\tret;
+}
+";
+        let m = parse_module(text).unwrap();
+        let k = &m.kernels[0];
+        assert_eq!(
+            k.body[0],
+            Inst::Bra {
+                target: "$skip_1".into(),
+                pred: Some((Reg::new(RegClass::Pred, 0), true)),
+            }
+        );
+        assert_eq!(
+            k.body[1],
+            Inst::Label {
+                name: "$skip_1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_call_and_negative_offsets() {
+        let text = "\
+.version 3.1
+.target sm_35
+.extern .func (.param .f64 ret) qdpjit_sin_f64 (.param .f64 x0);
+.visible .entry k(
+\t.param .u64 p
+)
+{
+\t.reg .f64 %fd<2>;
+\t.reg .b64 %rd<1>;
+\tld.global.f64 %fd0, [%rd0+-8];
+\tcall.uni (%fd1), qdpjit_sin_f64, (%fd0);
+\tret;
+}
+";
+        let m = parse_module(text).unwrap();
+        let k = &m.kernels[0];
+        assert!(matches!(
+            k.body[0],
+            Inst::LdGlobal { offset: -8, .. }
+        ));
+        assert!(matches!(
+            &k.body[1],
+            Inst::Call {
+                func: MathFn::Sin,
+                ty: PtxType::F64,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn multiple_kernels_in_one_module() {
+        let mut m = vadd_module();
+        let mut b = KernelBuilder::new("second");
+        b.param("n", PtxType::U32);
+        m.kernels.push(b.finish());
+        let text = emit_module(&m);
+        let parsed = parse_module(&text).unwrap();
+        assert_eq!(parsed.kernels.len(), 2);
+        assert_eq!(parsed.kernels[1].name, "second");
+    }
+}

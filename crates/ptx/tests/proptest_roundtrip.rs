@@ -1,0 +1,271 @@
+//! Property tests: PTX emission and parsing are exact inverses for any
+//! kernel the builder can produce (the generate → print → parse chain the
+//! JIT relies on must be lossless).
+
+use proptest::prelude::*;
+use qdp_ptx::emit::emit_module;
+use qdp_ptx::inst::{BinOp, CmpOp, Inst, MathFn, Operand, UnOp};
+use qdp_ptx::module::{KernelBuilder, Module};
+use qdp_ptx::parse::parse_module;
+use qdp_ptx::types::{PtxType, RegClass};
+
+/// One random instruction appended through the builder, using only
+/// registers that already exist (tracked in `pools`).
+#[derive(Debug, Clone)]
+enum Step {
+    FloatBin(u8, bool, u8, u8), // op, dp, a, b indices
+    FloatUn(u8, bool, u8),
+    IntBin(u8, u8, u8),
+    Fma(bool, u8, u8, u8),
+    Cvt(bool, u8),       // f32<->f64
+    MovImmF(bool, i32),  // value as small int
+    MovImmI(i64),
+    Setp(u8, u8, u8),
+    Selp(bool, u8, u8),
+    LoadStore(bool, u8, i8), // dp, value idx, offset16
+    Call(u8, bool, u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..5u8, any::<bool>(), any::<u8>(), any::<u8>())
+            .prop_map(|(o, d, a, b)| Step::FloatBin(o, d, a, b)),
+        (0..4u8, any::<bool>(), any::<u8>()).prop_map(|(o, d, a)| Step::FloatUn(o, d, a)),
+        (0..8u8, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Step::IntBin(o, a, b)),
+        (any::<bool>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(d, a, b, c)| Step::Fma(d, a, b, c)),
+        (any::<bool>(), any::<u8>()).prop_map(|(d, a)| Step::Cvt(d, a)),
+        (any::<bool>(), -1000..1000i32).prop_map(|(d, v)| Step::MovImmF(d, v)),
+        any::<i64>().prop_map(Step::MovImmI),
+        (0..6u8, any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Setp(c, a, b)),
+        (any::<bool>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| Step::Selp(d, a, b)),
+        (any::<bool>(), any::<u8>(), any::<i8>())
+            .prop_map(|(d, v, o)| Step::LoadStore(d, v, o)),
+        (0..4u8, any::<bool>(), any::<u8>()).prop_map(|(f, d, a)| Step::Call(f, d, a)),
+    ]
+}
+
+fn build_kernel(steps: &[Step]) -> Module {
+    let mut b = KernelBuilder::new("prop_kernel");
+    let p_ptr = b.param("ptr", PtxType::U64);
+    let p_n = b.param("n", PtxType::U32);
+    let tid = b.global_tid();
+    let n = b.ld_param(&p_n, PtxType::U32);
+    let exit = b.guard(tid, n);
+    let base = b.ld_param(&p_ptr, PtxType::U64);
+
+    // live value pools per class
+    let mut f32s = vec![b.mov(PtxType::F32, Operand::ImmF(1.5))];
+    let mut f64s = vec![b.mov(PtxType::F64, Operand::ImmF(2.5))];
+    let mut i32s = vec![tid, n];
+    let mut preds = vec![];
+    let pick = |v: &Vec<qdp_ptx::types::Reg>, i: u8| v[i as usize % v.len()];
+
+    for s in steps {
+        match s {
+            Step::FloatBin(o, dp, ai, bi) => {
+                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Min]
+                    [*o as usize % 5];
+                let (ty, pool) = if *dp {
+                    (PtxType::F64, &mut f64s)
+                } else {
+                    (PtxType::F32, &mut f32s)
+                };
+                let a = pool[*ai as usize % pool.len()];
+                let bb = pool[*bi as usize % pool.len()];
+                let r = b.bin(op, ty, a.into(), bb.into());
+                pool.push(r);
+            }
+            Step::FloatUn(o, dp, ai) => {
+                let op = [UnOp::Neg, UnOp::Abs, UnOp::Sqrt, UnOp::Rcp][*o as usize % 4];
+                let (ty, pool) = if *dp {
+                    (PtxType::F64, &mut f64s)
+                } else {
+                    (PtxType::F32, &mut f32s)
+                };
+                let a = pool[*ai as usize % pool.len()];
+                let dst = b.fresh_for(ty);
+                b.push(Inst::Unary {
+                    op,
+                    ty,
+                    dst,
+                    src: a.into(),
+                });
+                pool.push(dst);
+            }
+            Step::IntBin(o, ai, bi) => {
+                let op = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Min,
+                    BinOp::Max,
+                ][*o as usize % 8];
+                let a = pick(&i32s, *ai);
+                let bb = pick(&i32s, *bi);
+                let r = b.bin(op, PtxType::U32, a.into(), bb.into());
+                i32s.push(r);
+            }
+            Step::Fma(dp, ai, bi, ci) => {
+                let (ty, pool) = if *dp {
+                    (PtxType::F64, &mut f64s)
+                } else {
+                    (PtxType::F32, &mut f32s)
+                };
+                let (a, bb, c) = (
+                    pool[*ai as usize % pool.len()],
+                    pool[*bi as usize % pool.len()],
+                    pool[*ci as usize % pool.len()],
+                );
+                let r = b.fma(ty, a.into(), bb.into(), c.into());
+                pool.push(r);
+            }
+            Step::Cvt(to_dp, ai) => {
+                if *to_dp {
+                    let a = pick(&f32s, *ai);
+                    let r = b.cvt(PtxType::F64, PtxType::F32, a);
+                    f64s.push(r);
+                } else {
+                    let a = pick(&f64s, *ai);
+                    let r = b.cvt(PtxType::F32, PtxType::F64, a);
+                    f32s.push(r);
+                }
+            }
+            Step::MovImmF(dp, v) => {
+                let ty = if *dp { PtxType::F64 } else { PtxType::F32 };
+                let r = b.mov(ty, Operand::ImmF(*v as f64 / 8.0));
+                if *dp {
+                    f64s.push(r)
+                } else {
+                    f32s.push(r)
+                }
+            }
+            Step::MovImmI(v) => {
+                let r = b.mov(PtxType::U32, Operand::ImmI((*v as u32) as i64));
+                i32s.push(r);
+            }
+            Step::Setp(c, ai, bi) => {
+                let cmp = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+                    [*c as usize % 6];
+                let a = pick(&i32s, *ai);
+                let bb = pick(&i32s, *bi);
+                let dst = b.fresh(RegClass::Pred);
+                b.push(Inst::Setp {
+                    cmp,
+                    ty: PtxType::U32,
+                    dst,
+                    a: a.into(),
+                    b: bb.into(),
+                });
+                preds.push(dst);
+            }
+            Step::Selp(dp, ai, bi) => {
+                if preds.is_empty() {
+                    continue;
+                }
+                let (ty, pool) = if *dp {
+                    (PtxType::F64, &mut f64s)
+                } else {
+                    (PtxType::F32, &mut f32s)
+                };
+                let a = pool[*ai as usize % pool.len()];
+                let bb = pool[*bi as usize % pool.len()];
+                let dst = b.fresh_for(ty);
+                b.push(Inst::Selp {
+                    ty,
+                    dst,
+                    a: a.into(),
+                    b: bb.into(),
+                    pred: preds[preds.len() - 1],
+                });
+                pool.push(dst);
+            }
+            Step::LoadStore(dp, vi, off) => {
+                let ty = if *dp { PtxType::F64 } else { PtxType::F32 };
+                let v = if *dp { pick(&f64s, *vi) } else { pick(&f32s, *vi) };
+                b.push(Inst::StGlobal {
+                    ty,
+                    addr: base,
+                    offset: *off as i64 * 8,
+                    src: v.into(),
+                });
+                let dst = b.fresh_for(ty);
+                b.push(Inst::LdGlobal {
+                    ty,
+                    dst,
+                    addr: base,
+                    offset: *off as i64 * 8,
+                });
+                if *dp {
+                    f64s.push(dst)
+                } else {
+                    f32s.push(dst)
+                }
+            }
+            Step::Call(f, dp, ai) => {
+                let func = [MathFn::Sin, MathFn::Cos, MathFn::Exp, MathFn::Tanh]
+                    [*f as usize % 4];
+                let (ty, pool) = if *dp {
+                    (PtxType::F64, &mut f64s)
+                } else {
+                    (PtxType::F32, &mut f32s)
+                };
+                let a = pool[*ai as usize % pool.len()];
+                let dst = b.fresh_for(ty);
+                b.push(Inst::Call {
+                    func,
+                    ty,
+                    dst,
+                    args: vec![a],
+                });
+                pool.push(dst);
+            }
+        }
+    }
+    b.bind_label(&exit);
+    Module::with_kernel(b.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// emit → parse recovers the exact IR.
+    #[test]
+    fn emit_parse_roundtrip(steps in proptest::collection::vec(step_strategy(), 0..60)) {
+        let module = build_kernel(&steps);
+        module.validate().unwrap();
+        let text = emit_module(&module);
+        let parsed = parse_module(&text).expect("parse emitted PTX");
+        prop_assert_eq!(parsed, module);
+    }
+
+    /// emit ∘ parse ∘ emit is idempotent on text.
+    #[test]
+    fn text_idempotence(steps in proptest::collection::vec(step_strategy(), 0..40)) {
+        let module = build_kernel(&steps);
+        let t1 = emit_module(&module);
+        let t2 = emit_module(&parse_module(&t1).unwrap());
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Parsed kernels survive the JIT resource accounting: register counts
+    /// from the builder match what the text declares.
+    #[test]
+    fn reg_counts_preserved(steps in proptest::collection::vec(step_strategy(), 0..40)) {
+        let module = build_kernel(&steps);
+        let text = emit_module(&module);
+        let parsed = parse_module(&text).unwrap();
+        prop_assert_eq!(parsed.kernels[0].reg_counts, module.kernels[0].reg_counts);
+        prop_assert_eq!(
+            parsed.kernels[0].thread_bytes(),
+            module.kernels[0].thread_bytes()
+        );
+        prop_assert_eq!(
+            parsed.kernels[0].thread_flops(),
+            module.kernels[0].thread_flops()
+        );
+    }
+}

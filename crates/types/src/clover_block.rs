@@ -1,0 +1,358 @@
+//! Packed clover-term storage (paper §VI-A and Table I, lower part).
+//!
+//! In the chosen spin basis the clover term `A(x) = 1 + c_sw/4 σ_µν F_µν(x)`
+//! is Hermitian and block-diagonal: two 6×6 blocks (spin pair ⊗ color).
+//! Each block is stored as the 6 real diagonal entries plus the 15 complex
+//! entries of the strictly lower triangle; the upper triangle follows by
+//! Hermitian conjugation.
+//!
+//! The paper stores these via two extra lattice types (`Adiag`, `Atria`)
+//! that reuse the spin template level for the block index and the color
+//! level for the triangle index — mirrored here by
+//! [`CloverDiag`]/[`CloverTriang`] site elements. [`CloverBlockPacked`]
+//! is the host-side view of a single block with apply/invert operations.
+
+use crate::complex::Complex;
+use crate::real::Real;
+
+/// Index into the packed strictly-lower triangle of a 6×6 matrix:
+/// entry `(i, j)` with `i > j` lives at `i(i-1)/2 + j`.
+#[inline]
+pub fn tri_index(i: usize, j: usize) -> usize {
+    debug_assert!(i > j && i < 6);
+    i * (i - 1) / 2 + j
+}
+
+/// Site element holding the diagonal of both clover blocks
+/// (`Lattice<Component<Diagonal<Scalar<REAL>>>>`, Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloverDiag<R> {
+    /// `blocks[b][d]`: real diagonal entry `d` of block `b ∈ {0, 1}`.
+    pub blocks: [[R; 6]; 2],
+}
+
+impl<R: Real> Default for CloverDiag<R> {
+    fn default() -> Self {
+        CloverDiag {
+            blocks: [[R::zero(); 6]; 2],
+        }
+    }
+}
+
+/// Site element holding the strictly-lower triangle of both clover blocks
+/// (`Lattice<Component<Triangular<Complex<REAL>>>>`, Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloverTriang<R> {
+    /// `blocks[b][t]`: complex sub-diagonal entry `t` (see [`tri_index`]) of
+    /// block `b ∈ {0, 1}`.
+    pub blocks: [[Complex<R>; 15]; 2],
+}
+
+impl<R: Real> Default for CloverTriang<R> {
+    fn default() -> Self {
+        CloverTriang {
+            blocks: [[Complex::zero(); 15]; 2],
+        }
+    }
+}
+
+/// One packed 6×6 Hermitian clover block (host-side working form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloverBlockPacked<R> {
+    /// The 6 real diagonal entries.
+    pub diag: [R; 6],
+    /// The 15 complex strictly-lower-triangular entries.
+    pub tri: [Complex<R>; 15],
+}
+
+impl<R: Real> Default for CloverBlockPacked<R> {
+    fn default() -> Self {
+        CloverBlockPacked {
+            diag: [R::zero(); 6],
+            tri: [Complex::zero(); 15],
+        }
+    }
+}
+
+impl<R: Real> CloverBlockPacked<R> {
+    /// The identity block.
+    pub fn identity() -> Self {
+        CloverBlockPacked {
+            diag: [R::one(); 6],
+            tri: [Complex::zero(); 15],
+        }
+    }
+
+    /// Pack a full 6×6 Hermitian matrix. Only the diagonal (real parts) and
+    /// strictly-lower triangle are read.
+    pub fn pack(full: &[[Complex<R>; 6]; 6]) -> Self {
+        let mut out = Self::default();
+        for i in 0..6 {
+            out.diag[i] = full[i][i].re;
+            for j in 0..i {
+                out.tri[tri_index(i, j)] = full[i][j];
+            }
+        }
+        out
+    }
+
+    /// Unpack to a full 6×6 Hermitian matrix (the upper triangle is
+    /// reconstructed by Hermitian conjugation, as the paper describes).
+    pub fn unpack(&self) -> [[Complex<R>; 6]; 6] {
+        let mut full = [[Complex::zero(); 6]; 6];
+        for i in 0..6 {
+            full[i][i] = Complex::from_real(self.diag[i]);
+            for j in 0..i {
+                let z = self.tri[tri_index(i, j)];
+                full[i][j] = z;
+                full[j][i] = z.conj();
+            }
+        }
+        full
+    }
+
+    /// Get entry `(i, j)` of the full Hermitian matrix.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> Complex<R> {
+        use std::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Equal => Complex::from_real(self.diag[i]),
+            Ordering::Greater => self.tri[tri_index(i, j)],
+            Ordering::Less => self.tri[tri_index(j, i)].conj(),
+        }
+    }
+
+    /// Apply the block to a 6-component complex vector: `y = A x`.
+    pub fn apply(&self, x: &[Complex<R>; 6]) -> [Complex<R>; 6] {
+        let mut y = [Complex::zero(); 6];
+        for i in 0..6 {
+            let mut acc = x[i].scale(self.diag[i]);
+            for j in 0..i {
+                acc += self.tri[tri_index(i, j)] * x[j];
+            }
+            for j in (i + 1)..6 {
+                acc += self.tri[tri_index(j, i)].conj() * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Invert the Hermitian block via LDLᵀ (Cholesky-like) factorisation.
+    ///
+    /// Returns `None` when a pivot underflows (singular / indefinite to
+    /// working precision), which the application layer treats as an error in
+    /// the gauge configuration.
+    pub fn invert(&self) -> Option<Self> {
+        // Work in f64 regardless of storage precision for stability.
+        let mut a = [[Complex::<f64>::zero(); 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                a[i][j] = self.at(i, j).to_c64();
+            }
+        }
+        // In-place LDL^H: a[i][j] (i>j) = L, d[i] = D.
+        let mut d = [0.0f64; 6];
+        for j in 0..6 {
+            let mut djj = a[j][j].re;
+            for k in 0..j {
+                djj -= a[j][k].norm_sqr() * d[k];
+            }
+            if djj.abs() < 1e-300 {
+                return None;
+            }
+            d[j] = djj;
+            for i in (j + 1)..6 {
+                let mut lij = a[i][j];
+                for k in 0..j {
+                    lij -= a[i][k] * a[j][k].conj() * Complex::from_real(d[k]);
+                }
+                a[i][j] = lij.scale(1.0 / djj);
+            }
+        }
+        // Invert: solve A X = I column by column.
+        let mut inv = [[Complex::<f64>::zero(); 6]; 6];
+        for col in 0..6 {
+            // forward solve L y = e_col
+            let mut y = [Complex::<f64>::zero(); 6];
+            for i in 0..6 {
+                let mut v = if i == col {
+                    Complex::one()
+                } else {
+                    Complex::zero()
+                };
+                for k in 0..i {
+                    v -= a[i][k] * y[k];
+                }
+                y[i] = v;
+            }
+            // D z = y
+            for (yi, di) in y.iter_mut().zip(d.iter()) {
+                *yi = yi.scale(1.0 / di);
+            }
+            // back solve L^H x = z
+            for i in (0..6).rev() {
+                let mut v = y[i];
+                for k in (i + 1)..6 {
+                    v -= a[k][i].conj() * y[k];
+                }
+                y[i] = v;
+            }
+            for i in 0..6 {
+                inv[i][col] = y[i];
+            }
+        }
+        // Repack (result of inverting a Hermitian matrix is Hermitian).
+        let mut out = Self::default();
+        for i in 0..6 {
+            out.diag[i] = R::from_f64(inv[i][i].re);
+            for j in 0..i {
+                out.tri[tri_index(i, j)] = Complex::from_c64(inv[i][j]);
+            }
+        }
+        Some(out)
+    }
+
+    /// `log(det A)` of the Hermitian block via the LDLᵀ pivots. Returns
+    /// `None` for non-positive pivots (the clover term must be positive
+    /// definite for the even-odd preconditioned determinant).
+    pub fn log_det(&self) -> Option<f64> {
+        let mut a = [[Complex::<f64>::zero(); 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                a[i][j] = self.at(i, j).to_c64();
+            }
+        }
+        let mut d = [0.0f64; 6];
+        let mut sum = 0.0;
+        for j in 0..6 {
+            let mut djj = a[j][j].re;
+            for k in 0..j {
+                djj -= a[j][k].norm_sqr() * d[k];
+            }
+            if djj <= 0.0 {
+                return None;
+            }
+            d[j] = djj;
+            sum += djj.ln();
+            for i in (j + 1)..6 {
+                let mut lij = a[i][j];
+                for k in 0..j {
+                    lij -= a[i][k] * a[j][k].conj() * Complex::from_real(d[k]);
+                }
+                a[i][j] = lij.scale(1.0 / djj);
+            }
+        }
+        Some(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_block() -> CloverBlockPacked<f64> {
+        // Diagonally dominant Hermitian block (positive definite).
+        let mut full = [[Complex::<f64>::zero(); 6]; 6];
+        let mut s = 0x12345u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        for i in 0..6 {
+            for j in 0..i {
+                let z = Complex::new(next() * 0.3, next() * 0.3);
+                full[i][j] = z;
+                full[j][i] = z.conj();
+            }
+            full[i][i] = Complex::from_real(4.0 + next());
+        }
+        CloverBlockPacked::pack(&full)
+    }
+
+    #[test]
+    fn tri_index_is_a_bijection() {
+        let mut seen = [false; 15];
+        for i in 1..6 {
+            for j in 0..i {
+                let t = tri_index(i, j);
+                assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let b = test_block();
+        let full = b.unpack();
+        let b2 = CloverBlockPacked::pack(&full);
+        assert_eq!(b, b2);
+        // unpacked matrix is Hermitian
+        for i in 0..6 {
+            assert_eq!(full[i][i].im, 0.0);
+            for j in 0..6 {
+                assert_eq!(full[i][j], full[j][i].conj());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense_multiplication() {
+        let b = test_block();
+        let full = b.unpack();
+        let x: [Complex<f64>; 6] =
+            std::array::from_fn(|i| Complex::new(i as f64 + 0.5, 1.0 - i as f64));
+        let y = b.apply(&x);
+        for i in 0..6 {
+            let mut acc = Complex::zero();
+            for j in 0..6 {
+                acc += full[i][j] * x[j];
+            }
+            assert!((acc - y[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let b = test_block();
+        let inv = b.invert().expect("positive definite");
+        let x: [Complex<f64>; 6] =
+            std::array::from_fn(|i| Complex::new(1.0 + i as f64, -0.25 * i as f64));
+        let y = inv.apply(&b.apply(&x));
+        for i in 0..6 {
+            assert!((y[i] - x[i]).abs() < 1e-10, "component {i}: {:?}", y[i]);
+        }
+    }
+
+    #[test]
+    fn identity_inverts_to_identity() {
+        let id = CloverBlockPacked::<f64>::identity();
+        let inv = id.invert().unwrap();
+        for i in 0..6 {
+            assert!((inv.diag[i] - 1.0).abs() < 1e-14);
+        }
+        assert_eq!(id.log_det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn log_det_matches_scaling() {
+        // det(c·I) = c^6 for the 6×6 identity scaled by c.
+        let mut b = CloverBlockPacked::<f64>::identity();
+        for d in b.diag.iter_mut() {
+            *d = 2.0;
+        }
+        let ld = b.log_det().unwrap();
+        assert!((ld - 6.0 * 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_block_rejected() {
+        let mut b = CloverBlockPacked::<f64>::identity();
+        b.diag[3] = 0.0;
+        assert!(b.log_det().is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! The innermost reality level: complex numbers (paper §II-A: "nearly all
+//! lattice types are represented with complex numbers").
+
+use crate::real::Real;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number over one of the supported reality types.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<R> {
+    /// Real part (`iR = 0` in the layout function).
+    pub re: R,
+    /// Imaginary part (`iR = 1`).
+    pub im: R,
+}
+
+impl<R: Real> Complex<R> {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: R, im: R) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Complex::new(R::zero(), R::zero())
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub fn one() -> Self {
+        Complex::new(R::one(), R::zero())
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub fn i() -> Self {
+        Complex::new(R::zero(), R::one())
+    }
+
+    /// Purely real complex number.
+    #[inline]
+    pub fn from_real(re: R) -> Self {
+        Complex::new(re, R::zero())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²` as a real.
+    #[inline]
+    pub fn norm_sqr(self) -> R {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> R {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by the imaginary unit: `i·z = (-im, re)`.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex::new(-self.im, self.re)
+    }
+
+    /// Multiply by `-i`: `-i·z = (im, -re)`.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex::new(self.im, -self.re)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: R) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Multiplicative inverse. Panics in debug builds on division by zero.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// Widen to `Complex<f64>` for reductions and validation.
+    #[inline]
+    pub fn to_c64(self) -> Complex<f64> {
+        Complex::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Narrow (or keep) from `Complex<f64>`.
+    #[inline]
+    pub fn from_c64(z: Complex<f64>) -> Self {
+        Complex::new(R::from_f64(z.re), R::from_f64(z.im))
+    }
+}
+
+impl<R: Real> Add for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<R: Real> Sub for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<R: Real> Mul for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<R: Real> Div for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl<R: Real> Neg for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl<R: Real> AddAssign for Complex<R> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<R: Real> SubAssign for Complex<R> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<R: Real> MulAssign for Complex<R> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<R: Real> Mul<R> for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: R) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<R: Real> std::iter::Sum for Complex<R> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = Complex<f64>;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = C::new(1.0, 2.0);
+        let b = C::new(-0.5, 3.0);
+        let c = C::new(0.25, -1.0);
+        // associativity / distributivity
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * (b + c), a * b + a * c);
+        // conj is an involution and multiplicative
+        assert_eq!(a.conj().conj(), a);
+        assert_eq!((a * b).conj(), a.conj() * b.conj());
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let a = C::new(3.0, -4.0);
+        assert_eq!(a.mul_i(), a * C::i());
+        assert_eq!(a.mul_neg_i(), a * C::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn inverse() {
+        let a = C::new(3.0, -4.0);
+        let p = a * a.inv();
+        assert!((p.re - 1.0).abs() < 1e-14 && p.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm_and_abs() {
+        let a = C::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn division() {
+        let a = C::new(1.0, 1.0);
+        let b = C::new(0.0, 2.0);
+        let q = a / b;
+        assert!((q.re - 0.5).abs() < 1e-15 && (q.im + 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,446 @@
+//! Inner-level building blocks: QDP++'s `Scalar`, `Vector` and `Matrix`
+//! class templates (paper §II-B), which compose via nesting into the full
+//! site-element types of Table I.
+
+use crate::complex::Complex;
+use crate::real::Real;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Algebraic element that supports ring operations plus the Hermitian
+/// adjoint at its own level. `Complex` conjugates; `PMatrix` transposes and
+/// recurses; `PScalar` delegates.
+pub trait Ring:
+    Copy + Add<Output = Self> + Sub<Output = Self> + Neg<Output = Self> + Mul<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Hermitian adjoint (conjugation at this level and below).
+    fn adj(self) -> Self;
+}
+
+impl<R: Real> Ring for Complex<R> {
+    #[inline]
+    fn zero() -> Self {
+        Complex::zero()
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::one()
+    }
+    #[inline]
+    fn adj(self) -> Self {
+        self.conj()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PScalar — a level that carries no index (QDP++ `Scalar`)
+// ---------------------------------------------------------------------------
+
+/// A scalar at some index-space level wrapping the next-inner level.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PScalar<T>(pub T);
+
+impl<T: Ring> Ring for PScalar<T> {
+    #[inline]
+    fn zero() -> Self {
+        PScalar(T::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        PScalar(T::one())
+    }
+    #[inline]
+    fn adj(self) -> Self {
+        PScalar(self.0.adj())
+    }
+}
+
+impl<T: Add<Output = T>> Add for PScalar<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        PScalar(self.0 + rhs.0)
+    }
+}
+
+impl<T: Sub<Output = T>> Sub for PScalar<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        PScalar(self.0 - rhs.0)
+    }
+}
+
+impl<T: Neg<Output = T>> Neg for PScalar<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        PScalar(-self.0)
+    }
+}
+
+impl<T: Mul<Output = T>> Mul for PScalar<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        PScalar(self.0 * rhs.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PVector — a vector index at some level (QDP++ `Vector`)
+// ---------------------------------------------------------------------------
+
+/// A fixed-size vector at some index-space level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PVector<T, const N: usize>(pub [T; N]);
+
+impl<T: Copy + Default, const N: usize> Default for PVector<T, N> {
+    fn default() -> Self {
+        PVector([T::default(); N])
+    }
+}
+
+impl<T, const N: usize> Index<usize> for PVector<T, N> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.0[i]
+    }
+}
+
+impl<T, const N: usize> IndexMut<usize> for PVector<T, N> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.0[i]
+    }
+}
+
+impl<T: Copy, const N: usize> PVector<T, N> {
+    /// Build from a function of the index.
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        PVector(std::array::from_fn(f))
+    }
+}
+
+impl<T: Ring, const N: usize> PVector<T, N> {
+    /// Zero vector.
+    #[inline]
+    pub fn zero() -> Self {
+        PVector([T::zero(); N])
+    }
+}
+
+impl<T: Add<Output = T> + Copy, const N: usize> Add for PVector<T, N> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        PVector(std::array::from_fn(|i| self.0[i] + rhs.0[i]))
+    }
+}
+
+impl<T: Sub<Output = T> + Copy, const N: usize> Sub for PVector<T, N> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        PVector(std::array::from_fn(|i| self.0[i] - rhs.0[i]))
+    }
+}
+
+impl<T: Neg<Output = T> + Copy, const N: usize> Neg for PVector<T, N> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        PVector(std::array::from_fn(|i| -self.0[i]))
+    }
+}
+
+impl<T: AddAssign + Copy, const N: usize> AddAssign for PVector<T, N> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..N {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl<T: SubAssign + Copy, const N: usize> SubAssign for PVector<T, N> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for i in 0..N {
+            self.0[i] -= rhs.0[i];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PMatrix — a matrix index at some level (QDP++ `Matrix`)
+// ---------------------------------------------------------------------------
+
+/// A fixed-size square matrix at some index-space level, stored row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PMatrix<T, const N: usize>(pub [[T; N]; N]);
+
+impl<T: Copy + Default, const N: usize> Default for PMatrix<T, N> {
+    fn default() -> Self {
+        PMatrix([[T::default(); N]; N])
+    }
+}
+
+impl<T, const N: usize> Index<(usize, usize)> for PMatrix<T, N> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.0[i][j]
+    }
+}
+
+impl<T, const N: usize> IndexMut<(usize, usize)> for PMatrix<T, N> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.0[i][j]
+    }
+}
+
+impl<T: Copy, const N: usize> PMatrix<T, N> {
+    /// Build from a function of `(row, col)`.
+    #[inline]
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> T) -> Self {
+        PMatrix(std::array::from_fn(|i| std::array::from_fn(|j| f(i, j))))
+    }
+}
+
+impl<T: Ring, const N: usize> PMatrix<T, N> {
+    /// Zero matrix.
+    #[inline]
+    pub fn zero() -> Self {
+        PMatrix([[T::zero(); N]; N])
+    }
+
+    /// Identity matrix.
+    #[inline]
+    pub fn identity() -> Self {
+        PMatrix::from_fn(|i, j| if i == j { T::one() } else { T::zero() })
+    }
+
+    /// Trace: sum of diagonal entries.
+    #[inline]
+    pub fn trace(&self) -> T {
+        let mut t = T::zero();
+        for i in 0..N {
+            t = t + self.0[i][i];
+        }
+        t
+    }
+
+    /// Plain transpose (no conjugation).
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        PMatrix::from_fn(|i, j| self.0[j][i])
+    }
+}
+
+impl<T: Ring, const N: usize> Ring for PMatrix<T, N> {
+    #[inline]
+    fn zero() -> Self {
+        PMatrix::zero()
+    }
+    #[inline]
+    fn one() -> Self {
+        PMatrix::identity()
+    }
+    /// Hermitian adjoint: transpose and recurse (paper Fig. 1's `adj`).
+    #[inline]
+    fn adj(self) -> Self {
+        PMatrix::from_fn(|i, j| self.0[j][i].adj())
+    }
+}
+
+impl<T: Add<Output = T> + Copy, const N: usize> Add for PMatrix<T, N> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        PMatrix::from_fn(|i, j| self.0[i][j] + rhs.0[i][j])
+    }
+}
+
+impl<T: Sub<Output = T> + Copy, const N: usize> Sub for PMatrix<T, N> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        PMatrix::from_fn(|i, j| self.0[i][j] - rhs.0[i][j])
+    }
+}
+
+impl<T: Neg<Output = T> + Copy, const N: usize> Neg for PMatrix<T, N> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        PMatrix::from_fn(|i, j| -self.0[i][j])
+    }
+}
+
+impl<T: Ring, const N: usize> Mul for PMatrix<T, N> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        PMatrix::from_fn(|i, j| {
+            let mut acc = T::zero();
+            for k in 0..N {
+                acc = acc + self.0[i][k] * rhs.0[k][j];
+            }
+            acc
+        })
+    }
+}
+
+/// Matrix × vector at the same level.
+impl<T: Ring, const N: usize> Mul<PVector<T, N>> for PMatrix<T, N> {
+    type Output = PVector<T, N>;
+    #[inline]
+    fn mul(self, rhs: PVector<T, N>) -> PVector<T, N> {
+        PVector::from_fn(|i| {
+            let mut acc = T::zero();
+            for k in 0..N {
+                acc = acc + self.0[i][k] * rhs.0[k];
+            }
+            acc
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-level products used by the Table I aliases
+// ---------------------------------------------------------------------------
+
+/// Spin-scalar × spin-vector: `LatticeColorMatrix * LatticeFermion`
+/// (the paper's `psi = u * phi`): the color matrix applies to every spin
+/// component.
+impl<R: Real> Mul<crate::Fermion<R>> for crate::ColorMatrix<R> {
+    type Output = crate::Fermion<R>;
+    #[inline]
+    fn mul(self, rhs: crate::Fermion<R>) -> crate::Fermion<R> {
+        PVector::from_fn(|s| self.0 * rhs.0[s])
+    }
+}
+
+/// Spin-matrix × spin-vector with color-scalar entries:
+/// `LatticeSpinMatrix * LatticeFermion`.
+impl<R: Real> Mul<crate::Fermion<R>> for crate::SpinMatrix<R> {
+    type Output = crate::Fermion<R>;
+    #[inline]
+    fn mul(self, rhs: crate::Fermion<R>) -> crate::Fermion<R> {
+        PVector::from_fn(|i| {
+            let mut acc = crate::ColorVector::<R>::zero();
+            for k in 0..4 {
+                let z = self.0[i][k].0;
+                acc = acc + PVector::from_fn(|c| z * rhs.0[k].0[c]);
+            }
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorMatrix, ColorVector, Fermion, SpinMatrix};
+
+    type C = Complex<f64>;
+
+    fn cm(seed: u64) -> ColorMatrix<f64> {
+        // deterministic pseudo-random entries
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        PScalar(PMatrix::from_fn(|_, _| C::new(next(), next())))
+    }
+
+    fn fermion(seed: u64) -> Fermion<f64> {
+        let mut s = seed.wrapping_mul(0xD1342543DE82EF95) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        PVector::from_fn(|_| PVector::from_fn(|_| C::new(next(), next())))
+    }
+
+    #[test]
+    fn matrix_mul_identity() {
+        let m = cm(7).0;
+        assert_eq!(m * PMatrix::identity(), m);
+        assert_eq!(PMatrix::identity() * m, m);
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let a = cm(1).0;
+        let b = cm(2).0;
+        let lhs = (a * b).adj();
+        let rhs = b.adj() * a.adj();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((lhs.0[i][j] - rhs.0[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_cyclic() {
+        let a = cm(3).0;
+        let b = cm(4).0;
+        let t1 = (a * b).trace();
+        let t2 = (b * a).trace();
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colormatrix_times_fermion_per_spin() {
+        let u = cm(5);
+        let psi = fermion(6);
+        let out = u * psi;
+        for s in 0..4 {
+            let expect: ColorVector<f64> = u.0 * psi.0[s];
+            for c in 0..3 {
+                assert!((out.0[s].0[c] - expect.0[c]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn spinmatrix_identity_acts_trivially() {
+        let g: SpinMatrix<f64> = PMatrix::identity();
+        let psi = fermion(8);
+        let out = g * psi;
+        for s in 0..4 {
+            for c in 0..3 {
+                assert_eq!(out.0[s].0[c], psi.0[s].0[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_linear_ops() {
+        let a = fermion(10);
+        let b = fermion(11);
+        let s = a + b;
+        let d = s - b;
+        for sp in 0..4 {
+            for c in 0..3 {
+                assert!((d.0[sp].0[c] - a.0[sp].0[c]).abs() < 1e-14);
+            }
+        }
+        let n = -a;
+        assert_eq!(n.0[0].0[0], -a.0[0].0[0]);
+    }
+}

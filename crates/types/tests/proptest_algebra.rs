@@ -1,0 +1,188 @@
+//! Property tests on the type algebra: group/algebra closure, gamma
+//! Clifford structure, clover packing, flatten/unflatten bijections.
+
+use proptest::prelude::*;
+use qdp_types::clover_block::CloverBlockPacked;
+use qdp_types::su3::{det3, expm, random_algebra, random_su3, reunitarize, su3_violation};
+use qdp_types::{
+    CloverTriang, ColorMatrix, Complex, Fermion, Gamma, LatticeElem, PMatrix, PScalar, PVector,
+    SpinMatrix,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn c64(re: f64, im: f64) -> Complex<f64> {
+    Complex::new(re, im)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Complex arithmetic satisfies the field axioms we rely on.
+    #[test]
+    fn complex_axioms(
+        a in (-10.0..10.0f64, -10.0..10.0f64),
+        b in (-10.0..10.0f64, -10.0..10.0f64),
+        c in (-10.0..10.0f64, -10.0..10.0f64),
+    ) {
+        let (x, y, z) = (c64(a.0, a.1), c64(b.0, b.1), c64(c.0, c.1));
+        // distributivity (exact: same fp ops on both sides is not
+        // guaranteed, so allow rounding)
+        let lhs = x * (y + z);
+        let rhs = x * y + x * z;
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+        // conj multiplicativity
+        prop_assert!(((x * y).conj() - x.conj() * y.conj()).abs() < 1e-12);
+        // |xy| = |x||y|
+        prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() < 1e-9);
+        // i·z via rotation helpers
+        prop_assert_eq!(x.mul_i(), x * Complex::i());
+    }
+
+    /// Random SU(3) products stay in SU(3); the determinant is 1.
+    #[test]
+    fn su3_closure(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_su3::<f64>(&mut rng);
+        let b = random_su3::<f64>(&mut rng);
+        let p = a * b;
+        prop_assert!(su3_violation(&p) < 1e-20);
+        prop_assert!((det3(&p) - Complex::one()).abs() < 1e-10);
+    }
+
+    /// exp of the algebra lands in the group; reunitarize is idempotent.
+    #[test]
+    fn exp_algebra_in_group(seed in any::<u64>(), scale in 0.01..2.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_algebra::<f64>(&mut rng);
+        let scaled = PMatrix::from_fn(|i, j| p.0[i][j].scale(scale));
+        let u = expm(&scaled);
+        prop_assert!(su3_violation(&u) < 1e-12, "violation {}", su3_violation(&u));
+        let v = reunitarize(&u);
+        let w = reunitarize(&v);
+        prop_assert!(qdp_types::su3::frob_dist_sqr(&v, &w) < 1e-24);
+    }
+
+    /// exp(A)·exp(−A) = 1.
+    #[test]
+    fn exp_inverse(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_algebra::<f64>(&mut rng);
+        let u = expm(&p);
+        let neg = PMatrix::from_fn(|i, j| -p.0[i][j]);
+        let uinv = expm(&neg);
+        let prod = u * uinv;
+        let id: qdp_types::su3::Matrix3<f64> = PMatrix::identity();
+        prop_assert!(qdp_types::su3::frob_dist_sqr(&prod, &id) < 1e-16);
+    }
+
+    /// The 16 Gamma(n) form a closed set under multiplication up to phase,
+    /// and every one is unitary.
+    #[test]
+    fn gamma_group_structure(n in 0usize..16, m in 0usize..16) {
+        use qdp_types::inner::Ring;
+        let a = Gamma::from_index(n);
+        let b = Gamma::from_index(m);
+        let prod = a.mul(b);
+        // unitary: dense · dense^dag = 1
+        let d: SpinMatrix<f64> = prod.dense();
+        let u = d * d.adj();
+        let id: SpinMatrix<f64> = PMatrix::identity();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((u.0[i][j].0 - id.0[i][j].0).abs() < 1e-15);
+            }
+        }
+        // sparse·dense consistency on a probe fermion
+        let psi: Fermion<f64> = PVector::from_fn(|s| {
+            PVector::from_fn(|c| c64((s + 2 * c) as f64, (s * c) as f64 - 1.0))
+        });
+        let sparse = prod.apply_fermion(&psi);
+        let dense: Fermion<f64> = prod.dense::<f64>() * psi;
+        for s in 0..4 {
+            for c in 0..3 {
+                prop_assert!((sparse.0[s].0[c] - dense.0[s].0[c]).abs() < 1e-13);
+            }
+        }
+    }
+
+    /// Clover block: pack/unpack roundtrip, apply = dense multiply,
+    /// invert ∘ apply = identity for diagonally dominant blocks.
+    #[test]
+    fn clover_block_properties(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut full = [[Complex::<f64>::zero(); 6]; 6];
+        for i in 0..6 {
+            for j in 0..i {
+                let z = qdp_types::su3::gaussian_complex::<f64>(&mut rng).scale(0.25);
+                full[i][j] = z;
+                full[j][i] = z.conj();
+            }
+            full[i][i] = Complex::from_real(
+                4.0 + qdp_types::su3::gaussian::<f64>(&mut rng).abs(),
+            );
+        }
+        let b = CloverBlockPacked::pack(&full);
+        prop_assert_eq!(CloverBlockPacked::pack(&b.unpack()), b);
+        let x: [Complex<f64>; 6] = std::array::from_fn(|i| {
+            c64(1.0 - i as f64 * 0.3, 0.5 * i as f64)
+        });
+        let y = b.apply(&x);
+        let inv = b.invert().expect("diagonally dominant");
+        let back = inv.apply(&y);
+        for i in 0..6 {
+            prop_assert!((back[i] - x[i]).abs() < 1e-9);
+        }
+        // log det of A then of A^-1 cancel
+        let ld = b.log_det().unwrap() + inv.log_det().unwrap();
+        prop_assert!(ld.abs() < 1e-9);
+    }
+
+    /// flatten/unflatten are inverse for every site element type.
+    #[test]
+    fn flatten_roundtrips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = || qdp_types::su3::gaussian_complex::<f64>(&mut rng);
+
+        let f: Fermion<f64> = PVector::from_fn(|_| PVector::from_fn(|_| g()));
+        let mut buf = vec![0.0f64; 24];
+        f.flatten(&mut buf);
+        prop_assert_eq!(Fermion::<f64>::unflatten(&buf), f);
+
+        let m: ColorMatrix<f64> = PScalar(PMatrix::from_fn(|_, _| g()));
+        let mut buf = vec![0.0f64; 18];
+        m.flatten(&mut buf);
+        prop_assert_eq!(ColorMatrix::<f64>::unflatten(&buf), m);
+
+        let s: SpinMatrix<f64> = PMatrix::from_fn(|_, _| PScalar(g()));
+        let mut buf = vec![0.0f64; 32];
+        s.flatten(&mut buf);
+        prop_assert_eq!(SpinMatrix::<f64>::unflatten(&buf), s);
+
+        let t: CloverTriang<f64> = CloverTriang {
+            blocks: std::array::from_fn(|_| std::array::from_fn(|_| g())),
+        };
+        let mut buf = vec![0.0f64; 60];
+        t.flatten(&mut buf);
+        prop_assert_eq!(CloverTriang::<f64>::unflatten(&buf), t);
+    }
+
+    /// Matrix algebra: (AB)† = B†A†, tr(AB) = tr(BA), A·1 = A.
+    #[test]
+    fn matrix_identities(seed in any::<u64>()) {
+        use qdp_types::inner::Ring;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_su3::<f64>(&mut rng);
+        let b = random_su3::<f64>(&mut rng);
+        let lhs = (a * b).adj();
+        let rhs = b.adj() * a.adj();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs.0[i][j] - rhs.0[i][j]).abs() < 1e-12);
+            }
+        }
+        prop_assert!(((a * b).trace() - (b * a).trace()).abs() < 1e-12);
+        let id: qdp_types::su3::Matrix3<f64> = PMatrix::identity();
+        prop_assert_eq!(a * id, a);
+    }
+}

@@ -1,0 +1,74 @@
+//! Multi-GPU halo exchange with communication/computation overlap (§V):
+//! the 2-GPU setup of the paper's Figure 6, functionally exact.
+//!
+//! Two ranks each own half of a 8×4×4×8 lattice (split along t). The Fig. 1
+//! covariant derivative communicates its faces; with overlap enabled the
+//! inner sites compute while the messages fly.
+//!
+//! Run: `cargo run --release --example multi_gpu_overlap`
+
+use qdp_core::multinode::MultiRank;
+use qdp_jit_rs::core::{adj, shift};
+use qdp_jit_rs::prelude::*;
+use qdp_layout::Decomposition;
+use qdp_types::su3::random_su3;
+use qdp_types::{PScalar, PVector};
+use std::sync::Arc;
+
+fn main() {
+    let global = [8usize, 4, 4, 8];
+    for overlap in [false, true] {
+        let times = qdp_comm::run_cluster(
+            2,
+            qdp_comm::LinkModel::infiniband_qdr(),
+            move |handle| {
+                let decomp = Decomposition::new(global, [1, 1, 1, 2]);
+                let rank = handle.rank;
+                let ctx = QdpContext::new(
+                    DeviceConfig::k20m_ecc_on(),
+                    decomp.local_geometry(),
+                    LayoutKind::SoA,
+                );
+                let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, true, overlap);
+                // deterministic global fields: both ranks agree at the seams
+                let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |s| {
+                    let c = decomp.global_coord(rank, s);
+                    let seed = (c[0] * 97 + c[1] * 89 + c[2] * 83 + c[3] * 79) as u64;
+                    let mut rng =
+                        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                    PScalar(random_su3(&mut rng))
+                });
+                let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| {
+                    let c = decomp.global_coord(rank, s);
+                    PVector::from_fn(|sp| {
+                        PVector::from_fn(|col| {
+                            Complex::new((c[3] * 12 + sp * 3 + col) as f64, c[0] as f64)
+                        })
+                    })
+                });
+                let out = LatticeFermion::<f64>::new(&ctx);
+                // derivative along the SPLIT dimension: every eval exchanges halos
+                let e = u.q() * shift(psi.q(), 3, ShiftDir::Forward)
+                    + shift(adj(u.q()) * psi.q(), 3, ShiftDir::Backward);
+                let t0 = ctx.device().now();
+                for _ in 0..20 {
+                    mr.eval(out.fref(), &e.0).unwrap();
+                }
+                let elapsed = ctx.device().now() - t0;
+                (elapsed, out.norm2_on(Subset::All).unwrap())
+            },
+        );
+        let t = times.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+        let checksum: f64 = times.iter().map(|(_, n)| n).sum();
+        println!(
+            "overlap {:>5}: 20 halo-exchanged evaluations in {:.3} ms (simulated), \
+             global |out|^2 = {:.6e}",
+            overlap,
+            t * 1e3,
+            checksum
+        );
+    }
+    println!();
+    println!("same checksum in both modes (bit-exact results); overlap hides the");
+    println!("inter-GPU transfer behind the inner-site kernel (paper V, Fig. 6).");
+}

@@ -1,0 +1,23 @@
+//! # qdp-jit-rs — umbrella crate
+//!
+//! Rust reproduction of **QDP-JIT/PTX** (Winter, Clark, Edwards, Joó,
+//! *"A Framework for Lattice QCD Calculations on GPUs"*, IPDPS 2014).
+//! Re-exports every subsystem crate; see the README for a quickstart and
+//! DESIGN.md for the system inventory.
+
+pub use chroma_mini as chroma;
+pub use qdp_cache as cache;
+pub use qdp_comm as comm;
+pub use qdp_core as core;
+pub use qdp_expr as expr;
+pub use qdp_gpu_sim as gpu;
+pub use qdp_jit as jit;
+pub use qdp_layout as layout;
+pub use qdp_ptx as ptx;
+pub use qdp_types as types;
+pub use quda_sim as quda;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use qdp_core::prelude::*;
+}
