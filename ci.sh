@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline CI for qdp-jit-rs.
+#
+# The workspace has a zero-registry-dependency policy (see DESIGN.md):
+# every Cargo.toml must reference only workspace member crates by path, so
+# a clean checkout builds and tests with no network at all. This script
+# enforces that policy, then runs the tier-1 gate fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# ---- Guard: no registry dependencies in any manifest -----------------------
+# A registry dependency is any dependency entry that carries a version
+# requirement (`foo = "1.2"` or `version = "..."`). Path/workspace deps
+# never need one inside this repo.
+fail=0
+while IFS= read -r manifest; do
+    bad=$(awk '
+        /^\[/ { in_dep = ($0 ~ /dependencies/) }
+        in_dep && /^[A-Za-z0-9_-]+[[:space:]]*=/ {
+            if ($0 ~ /path[[:space:]]*=/ || $0 ~ /workspace[[:space:]]*=/) next
+            if ($0 ~ /^[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*"/ || $0 ~ /version[[:space:]]*=/) print "    " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "registry dependency found in $manifest:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path "./target/*")
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: the workspace must stay free of crates.io dependencies" >&2
+    exit 1
+fi
+echo "ok: no registry dependencies in any Cargo.toml"
+
+# ---- Tier-1 gate, offline --------------------------------------------------
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "ci.sh: all green (offline build + workspace tests)"

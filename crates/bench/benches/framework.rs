@@ -1,16 +1,16 @@
-//! Criterion benches of the framework's *own* (wall-clock) costs: code
-//! generation, PTX parse + lower (the "driver JIT"), cache operations, the
-//! interpreter, and one CG iteration end-to-end. These complement the
-//! figure harnesses (which report simulated device time).
+//! Wall-clock benches of the framework's *own* costs: code generation, PTX
+//! parse + lower (the "driver JIT"), cache operations, the interpreter, and
+//! one CG iteration end-to-end. These complement the figure harnesses
+//! (which report simulated device time). Runs on the in-tree
+//! `qdp_bench::timing` harness — see that module for knobs and filtering.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qdp_bench::timing::{BatchSize, Harness};
 use qdp_core::prelude::*;
 use qdp_core::{adj, shift};
 use qdp_jit::KernelCache;
+use qdp_rng::{SeedableRng, StdRng};
 use qdp_types::su3::random_su3;
 use qdp_types::{PScalar, PVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn setup_ctx(l: usize) -> Arc<QdpContext> {
@@ -30,7 +30,7 @@ fn fields(
 }
 
 /// Code generation: AST walk → PTX text for a dslash-class expression.
-fn bench_codegen(c: &mut Criterion) {
+fn bench_codegen(c: &mut Harness) {
     let ctx = setup_ctx(4);
     let (u, psi) = fields(&ctx, 1);
     let out = LatticeFermion::<f64>::new(&ctx);
@@ -46,7 +46,7 @@ fn bench_codegen(c: &mut Criterion) {
 }
 
 /// Driver JIT: PTX text → parsed module → register machine (cold cache).
-fn bench_jit_translate(c: &mut Criterion) {
+fn bench_jit_translate(c: &mut Harness) {
     let text = {
         let mut b = qdp_ptx::module::KernelBuilder::new("bench_kernel");
         let pn = b.param("n", qdp_ptx::types::PtxType::U32);
@@ -78,7 +78,7 @@ fn bench_jit_translate(c: &mut Criterion) {
 }
 
 /// Interpreter throughput: one payload launch of `upsi` on 16⁴ sites.
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter(c: &mut Harness) {
     let ctx = setup_ctx(16);
     let (u, psi) = fields(&ctx, 3);
     let out = LatticeFermion::<f64>::new(&ctx);
@@ -89,7 +89,7 @@ fn bench_interpreter(c: &mut Criterion) {
 }
 
 /// Memory-cache page-out + page-in cycle.
-fn bench_cache_ops(c: &mut Criterion) {
+fn bench_cache_ops(c: &mut Harness) {
     let ctx = setup_ctx(8);
     let (u, _) = fields(&ctx, 4);
     c.bench_function("cache_pageout_pagein_cycle", |b| {
@@ -102,7 +102,7 @@ fn bench_cache_ops(c: &mut Criterion) {
 }
 
 /// Two full CG iterations (dslash×4 + linalg + reductions) on 4⁴.
-fn bench_cg_iteration(c: &mut Criterion) {
+fn bench_cg_iteration(c: &mut Harness) {
     let ctx = setup_ctx(4);
     let mut rng = StdRng::seed_from_u64(5);
     let g = chroma_mini::gauge::GaugeField::warm(&ctx, &mut rng, 0.25);
@@ -115,7 +115,7 @@ fn bench_cg_iteration(c: &mut Criterion) {
 }
 
 /// Reduction (norm2) end to end.
-fn bench_reduction(c: &mut Criterion) {
+fn bench_reduction(c: &mut Harness) {
     let ctx = setup_ctx(8);
     let (_, psi) = fields(&ctx, 6);
     c.bench_function("norm2_8x4", |b| {
@@ -123,13 +123,12 @@ fn bench_reduction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_codegen,
-    bench_jit_translate,
-    bench_interpreter,
-    bench_cache_ops,
-    bench_cg_iteration,
-    bench_reduction
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_codegen(&mut h);
+    bench_jit_translate(&mut h);
+    bench_interpreter(&mut h);
+    bench_cache_ops(&mut h);
+    bench_cg_iteration(&mut h);
+    bench_reduction(&mut h);
+}

@@ -12,8 +12,7 @@
 use qdp_core::prelude::*;
 use qdp_types::su3::random_su3;
 use qdp_types::PScalar;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn run(memory_bytes: usize, label: &str) {
     let l = 8usize;

@@ -12,8 +12,7 @@ use chroma_mini::fermion::{wilson_hopping_expr, CloverTerm, WilsonDirac};
 use chroma_mini::gauge::{gaussian_fermion, GaugeField};
 use chroma_mini::hmc::{GaugeAction, Hmc, Integrator, TwoFlavorWilson};
 use qdp_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn main() {
     let ctx = QdpContext::k20x(Geometry::symmetric(4));

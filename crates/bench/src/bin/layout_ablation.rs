@@ -7,8 +7,7 @@
 use qdp_core::prelude::*;
 use qdp_types::su3::random_su3;
 use qdp_types::{PScalar, PVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn run(layout: LayoutKind, l: usize) -> f64 {
     let ctx = QdpContext::new(DeviceConfig::k20x_ecc_off(), Geometry::symmetric(l), layout);

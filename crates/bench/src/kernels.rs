@@ -6,8 +6,7 @@ use qdp_core::prelude::*;
 use qdp_core::{clover_mul, QExpr};
 use qdp_types::su3::random_su3;
 use qdp_types::{FloatType, PScalar, PVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 use std::sync::Arc;
 
 /// The five benchmark test functions of Table II.

@@ -6,6 +6,7 @@
 
 pub mod hmc_model;
 pub mod kernels;
+pub mod timing;
 
 pub use hmc_model::{trajectory_time, Config, ScalingRow};
 pub use kernels::{bench_kernel, TestFunction};

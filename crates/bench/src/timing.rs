@@ -1,0 +1,299 @@
+//! Minimal wall-clock benchmark runner for the `benches/` targets.
+//!
+//! Replaces the external `criterion` crate with an in-tree harness so the
+//! workspace builds and benches fully offline. The API mirrors the small
+//! subset of criterion the benches actually use — [`Harness::bench_function`],
+//! [`Bencher::iter`] and [`Bencher::iter_batched`] — so bench bodies port
+//! mechanically.
+//!
+//! Measurement model: each benchmark is warmed up for a fixed wall-clock
+//! budget (estimating the iteration rate as a side effect), then timed over
+//! a fixed number of *samples*, each sample being a batch of iterations
+//! sized so one sample lasts roughly `sample_ms / n_samples`. The report
+//! shows min / median / mean ± σ per iteration, which is robust against
+//! scheduler noise without criterion's bootstrap machinery.
+//!
+//! Environment knobs (all optional):
+//! - `QDP_BENCH_WARMUP_MS` — warmup budget per benchmark (default 100)
+//! - `QDP_BENCH_SAMPLE_MS` — total measured time per benchmark (default 500)
+//! - `QDP_BENCH_SAMPLES`   — number of samples (default 25)
+//!
+//! A substring filter can be passed on the command line
+//! (`cargo bench --bench framework -- codegen` runs only matching benches).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Batch-size hint for [`Bencher::iter_batched`]. Accepted for source
+/// compatibility with criterion call sites; this harness always times each
+/// routine call individually (setup excluded), which is the behaviour
+/// criterion's `SmallInput` approximates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure given to
+/// [`Harness::bench_function`].
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    n_samples: usize,
+    /// seconds per iteration, one entry per sample
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` in calibrated batches. The reported figure is seconds per
+    /// call of `f`, averaged within each sample batch.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: run for the budget, estimating iterations/second.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Choose a batch size so one sample lasts ~ measure / n_samples.
+        let sample_budget = self.measure.as_secs_f64() / self.n_samples as f64;
+        let batch = ((sample_budget / per_iter).round() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.n_samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but each call of `routine` gets a fresh value
+    /// from `setup`, and only `routine` is timed. Every call is timed
+    /// individually, so this is meant for routines that are at least
+    /// microseconds long (true of all call sites here).
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        // Warmup: run for the budget, estimating timed (routine-only) cost.
+        let mut warm_spent = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            warm_spent += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+
+        let sample_budget = self.measure.as_secs_f64() / self.n_samples as f64;
+        let batch = ((sample_budget / per_iter.max(1e-9)).round() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.n_samples {
+            let mut spent = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                spent += t0.elapsed();
+            }
+            self.samples.push(spent.as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// Summary statistics over one benchmark's samples, in seconds/iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub min: f64,
+    pub median: f64,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+impl Stats {
+    fn from_samples(samples: &[f64]) -> Stats {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / (n as f64 - 1.0).max(1.0);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Stats {
+            min: sorted[0],
+            median,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Render a duration in seconds with an auto-selected unit.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:8.4} s ")
+    } else if secs >= 1e-3 {
+        format!("{:8.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:8.4} µs", secs * 1e6)
+    } else {
+        format!("{:8.2} ns", secs * 1e9)
+    }
+}
+
+/// Top-level bench runner: owns configuration and the results table.
+pub struct Harness {
+    warmup: Duration,
+    measure: Duration,
+    n_samples: usize,
+    filter: Option<String>,
+    results: Vec<(String, Stats)>,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Build a harness from environment knobs and the process arguments
+    /// (the first non-flag argument becomes a name substring filter; flags
+    /// that cargo's bench driver passes, like `--bench`, are ignored).
+    pub fn from_env() -> Harness {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Harness {
+            warmup: Duration::from_millis(env_u64("QDP_BENCH_WARMUP_MS", 100)),
+            measure: Duration::from_millis(env_u64("QDP_BENCH_SAMPLE_MS", 500)),
+            n_samples: env_u64("QDP_BENCH_SAMPLES", 25).max(2) as usize,
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Run one named benchmark (unless filtered out) and record its stats.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            n_samples: self.n_samples,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            // closure never called iter(): report as skipped
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let stats = Stats::from_samples(&b.samples);
+        println!(
+            "{name:<40} min {}   median {}   mean {} ± {}",
+            fmt_time(stats.min),
+            fmt_time(stats.median),
+            fmt_time(stats.mean),
+            fmt_time(stats.stddev),
+        );
+        self.results.push((name.to_string(), stats));
+    }
+
+    /// Number of benchmarks actually run (post-filter).
+    pub fn n_run(&self) -> usize {
+        self.results.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_harness() -> Harness {
+        Harness {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            n_samples: 4,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_produces_samples_and_stats() {
+        let mut h = fast_harness();
+        h.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+        });
+        assert_eq!(h.n_run(), 1);
+        let (_, stats) = &h.results[0];
+        assert!(stats.min > 0.0);
+        assert!(stats.min <= stats.median);
+        assert!(stats.median <= stats.mean + stats.stddev * 4.0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut h = fast_harness();
+        h.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(h.n_run(), 1);
+        assert!(h.results[0].1.mean > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_names() {
+        let mut h = fast_harness();
+        h.filter = Some("match_me".to_string());
+        h.bench_function("other", |b| b.iter(|| 1 + 1));
+        h.bench_function("does_match_me_yes", |b| b.iter(|| 1 + 1));
+        assert_eq!(h.n_run(), 1);
+        assert_eq!(h.results[0].0, "does_match_me_yes");
+    }
+
+    #[test]
+    fn stats_of_constant_samples() {
+        let s = Stats::from_samples(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+}

@@ -15,7 +15,7 @@
 //! copy engine (so the Amdahl cost of transfers shows up on the simulated
 //! clock, as it does in the paper's "CPU+QUDA" configuration).
 
-use parking_lot::Mutex;
+use qdp_gpu_sim::sync::Mutex;
 use qdp_gpu_sim::{Device, DeviceError, DevicePtr};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

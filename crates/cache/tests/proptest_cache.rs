@@ -1,11 +1,12 @@
 //! Property test: under arbitrary interleavings of kernel-side and
 //! host-side accesses, with a device too small for the working set, the
 //! cache never loses data — every field always reads back what was last
-//! written to it, wherever its current copy lives.
+//! written to it, wherever its current copy lives. Runs on the in-tree
+//! `qdp-proptest` harness (a failing interleaving shrinks to fewer ops).
 
-use proptest::prelude::*;
 use qdp_cache::MemoryCache;
 use qdp_gpu_sim::{Device, DeviceConfig};
+use qdp_proptest::{check, prop_assert, CaseError, Config, Gen};
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -20,20 +21,19 @@ enum Op {
     HostRead(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(f, v)| Op::KernelWrite(f, v)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::KernelRead(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(f, v)| Op::HostWrite(f, v)),
-        any::<u8>().prop_map(Op::HostRead),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.usize_in(0..4) {
+        0 => Op::KernelWrite(g.any_u8(), g.any_u8()),
+        1 => Op::KernelRead(g.any_u8(), g.any_u8()),
+        2 => Op::HostWrite(g.any_u8(), g.any_u8()),
+        _ => Op::HostRead(g.any_u8()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn no_data_loss_under_pressure(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn no_data_loss_under_pressure() {
+    check("no_data_loss_under_pressure", Config::cases(48), |g| {
+        let ops = g.vec_of(1..120, gen_op);
         const N_FIELDS: usize = 8;
         const FIELD_BYTES: usize = 700;
         // fits ~3 fields (with 256-byte alignment padding)
@@ -49,7 +49,7 @@ proptest! {
                     let f = *f as usize % N_FIELDS;
                     let ptrs = match cache.assure_on_device(&[ids[f]]) {
                         Ok(p) => p,
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => return Err(CaseError::fail(format!("{e}"))),
                     };
                     // kernel writes the value across the field
                     let buf = vec![*v; FIELD_BYTES];
@@ -69,15 +69,14 @@ proptest! {
                         device.memory().copy_to_host(ptrs[k], &mut buf);
                         prop_assert!(
                             buf.iter().all(|&x| x == truth[fidx]),
-                            "kernel read of field {} saw wrong data", fidx
+                            "kernel read of field {} saw wrong data",
+                            fidx
                         );
                     }
                 }
                 Op::HostWrite(f, v) => {
                     let f = *f as usize % N_FIELDS;
-                    cache
-                        .with_host_mut(ids[f], |h| h.fill(*v))
-                        .unwrap();
+                    cache.with_host_mut(ids[f], |h| h.fill(*v)).unwrap();
                     truth[f] = *v;
                 }
                 Op::HostRead(f) => {
@@ -91,10 +90,13 @@ proptest! {
         }
         // final sweep: every field must still hold its truth value
         for (f, id) in ids.iter().enumerate() {
-            let ok = cache.with_host(*id, |h| h.iter().all(|&x| x == truth[f])).unwrap();
+            let ok = cache
+                .with_host(*id, |h| h.iter().all(|&x| x == truth[f]))
+                .unwrap();
             prop_assert!(ok, "final state of field {} corrupted", f);
         }
         // invariant: device never over-allocated
         prop_assert!(device.memory().peak() <= device.memory().capacity());
-    }
+        Ok(())
+    });
 }

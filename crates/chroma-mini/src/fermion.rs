@@ -343,8 +343,8 @@ mod tests {
     use super::*;
     use crate::gauge::gaussian_fermion;
     use qdp_core::reduce_inner_product;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qdp_rng::StdRng;
+    use qdp_rng::SeedableRng;
 
     fn setup() -> (Arc<QdpContext>, GaugeField, StdRng) {
         let ctx = QdpContext::k20x(Geometry::symmetric(4));

@@ -95,8 +95,8 @@ mod tests {
     use qdp_core::reduce_inner_product;
     use qdp_types::su3::random_algebra;
     use qdp_types::{PMatrix, PScalar};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qdp_rng::StdRng;
+    use qdp_rng::SeedableRng;
     use std::sync::Arc;
 
     fn setup() -> (Arc<QdpContext>, GaugeField, StdRng) {

@@ -4,7 +4,7 @@ use qdp_core::prelude::*;
 use qdp_core::{adj, diag_fill, real, reduce_sum_real, shift, trace};
 use qdp_types::su3::{random_algebra, random_su3, reunitarize};
 use qdp_types::{ColorMatrix, Fermion, PMatrix, PScalar, PVector};
-use rand::Rng;
+use qdp_rng::Rng;
 use std::sync::Arc;
 
 /// The SU(3) gauge configuration: one `LatticeColorMatrix` per dimension
@@ -222,8 +222,8 @@ pub fn zero_fermion(ctx: &Arc<QdpContext>) -> LatticeFermion<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qdp_rng::StdRng;
+    use qdp_rng::SeedableRng;
 
     fn ctx() -> Arc<QdpContext> {
         QdpContext::k20x(Geometry::symmetric(4))

@@ -11,8 +11,7 @@ use crate::zolotarev::PartialFraction;
 use qdp_core::prelude::*;
 use qdp_core::expm;
 use qdp_core::reduce_inner_product;
-use rand::rngs::StdRng;
-use rand::RngExt;
+use qdp_rng::{Rng, StdRng};
 
 /// MD integrator scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]

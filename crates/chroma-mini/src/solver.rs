@@ -278,8 +278,8 @@ use qdp_core::cscale;
 mod tests {
     use super::*;
     use crate::gauge::{gaussian_fermion, GaugeField};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qdp_rng::StdRng;
+    use qdp_rng::SeedableRng;
     use std::sync::Arc;
 
     fn setup() -> (Arc<QdpContext>, WilsonDirac, StdRng) {

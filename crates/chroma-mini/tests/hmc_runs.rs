@@ -5,12 +5,11 @@
 
 use chroma_mini::gauge::{kinetic_energy, refresh_momenta, GaugeField};
 use chroma_mini::hmc::{
-    ForceTerm, GaugeAction, HasenbuschPair, Hmc, Integrator, RationalOneFlavor, TwoFlavorWilson,
+    GaugeAction, HasenbuschPair, Hmc, Integrator, RationalOneFlavor, TwoFlavorWilson,
 };
 use chroma_mini::zolotarev::{fit_power, zolotarev_inv_sqrt};
 use qdp_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 use std::sync::Arc;
 
 fn ctx4() -> Arc<QdpContext> {

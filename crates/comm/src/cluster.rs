@@ -1,8 +1,8 @@
 //! The virtual cluster: rank threads, timed point-to-point messages,
 //! barriers and reductions.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Interconnect model (paper §VIII-C: MPI through PCIe + InfiniBand, with
 /// MVAPICH2 CUDA-aware MPI on the 2-GPU testbed).
@@ -50,7 +50,11 @@ pub struct Message {
     pub sent_at: f64,
 }
 
-type Mesh = Vec<Vec<(Sender<Message>, Receiver<Message>)>>;
+// Each (from, to) pair gets its own channel. `std::sync::mpsc::Receiver`
+// is single-consumer, so it sits behind a Mutex to let the mesh be shared
+// across rank threads; only rank `to` ever locks entry `[from][to]`, so
+// the lock is uncontended.
+type Mesh = Vec<Vec<(Sender<Message>, Mutex<Receiver<Message>>)>>;
 
 /// Per-rank communication handle.
 pub struct RankHandle {
@@ -84,6 +88,8 @@ impl RankHandle {
     pub fn recv(&self, from: usize, now: f64) -> (Vec<u8>, f64) {
         let msg = self.mesh[from][self.rank]
             .1
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
             .recv()
             .expect("peer rank hung up");
         let arrival = msg.sent_at + self.link.transfer_time(msg.data.len());
@@ -136,7 +142,14 @@ pub fn run_cluster<R: Send>(
     assert!(n >= 1);
     let mesh: Arc<Mesh> = Arc::new(
         (0..n)
-            .map(|_| (0..n).map(|_| unbounded()).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let (tx, rx) = channel();
+                        (tx, Mutex::new(rx))
+                    })
+                    .collect()
+            })
             .collect(),
     );
     let barrier = Arc::new(std::sync::Barrier::new(n));

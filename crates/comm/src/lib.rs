@@ -5,7 +5,7 @@
 //! This crate substitutes:
 //!
 //! * a **virtual cluster** ([`cluster`]): ranks as threads, point-to-point
-//!   messages over crossbeam channels carrying simulated-time stamps, and a
+//!   messages over std `mpsc` channels carrying simulated-time stamps, and a
 //!   **link model** (latency + bandwidth; CUDA-aware vs staged-through-host)
 //!   so halo exchange is functionally real *and* has a timeline;
 //! * a **discrete-event machine model** ([`model`]) for the strong-scaling

@@ -2,7 +2,7 @@
 //! auto-tuner, geometry and the device-resident tables (neighbour tables,
 //! subset site lists).
 
-use parking_lot::Mutex;
+use qdp_gpu_sim::sync::Mutex;
 use qdp_cache::MemoryCache;
 use qdp_expr::ShiftDir;
 use qdp_gpu_sim::{Device, DeviceConfig, DevicePtr};

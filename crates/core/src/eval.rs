@@ -19,7 +19,7 @@ use qdp_layout::{FieldLayout, LayoutKind, Subset};
 use qdp_ptx::emit::emit_module;
 use qdp_ptx::module::Module;
 use qdp_types::{ElemKind, FloatType, Real, TypeShape};
-use rayon::prelude::*;
+use qdp_gpu_sim::par::parallel_map;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -373,16 +373,14 @@ fn eval_reference_typed<R: Real>(
     let scalars = expr.scalar_values();
     let sites = subset.sites(&geom);
 
-    let results: Vec<(u32, Vec<(usize, R)>)> = sites
-        .par_iter()
-        .map(|&s| {
-            let mut b = CpuGen::<R>::new(&data, &scalars, &geom, s as usize);
-            let mut cx = GenCtx::new(&leaves);
-            let v = gen_expr(expr, &mut b, &mut cx);
-            store_val(&mut b, &v);
-            (s, std::mem::take(&mut b.out))
-        })
-        .collect();
+    let results: Vec<(u32, Vec<(usize, R)>)> = parallel_map(sites.len(), |i| {
+        let s = sites[i];
+        let mut b = CpuGen::<R>::new(&data, &scalars, &geom, s as usize);
+        let mut cx = GenCtx::new(&leaves);
+        let v = gen_expr(expr, &mut b, &mut cx);
+        store_val(&mut b, &v);
+        (s, std::mem::take(&mut b.out))
+    });
 
     let shape = TypeShape::of(target.kind);
     let layout = FieldLayout::new(ctx.layout(), vol, shape.n_reals());

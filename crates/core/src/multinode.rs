@@ -13,7 +13,7 @@
 
 use crate::context::QdpContext;
 use crate::eval::{self, CoreError, EvalReport, RemoteEnv, SiteSel};
-use parking_lot::Mutex;
+use qdp_gpu_sim::sync::Mutex;
 use qdp_comm::cluster::RankHandle;
 use qdp_expr::{Expr, FieldRef, ShiftDir};
 use qdp_gpu_sim::DevicePtr;

@@ -14,7 +14,7 @@ use std::sync::Arc;
 /// the single-rank reference build identical global fields.
 fn cm_at(c: [usize; 4]) -> ColorMatrix<f64> {
     let seed = (c[0] * 1009 + c[1] * 101 + c[2] * 13 + c[3] * 7 + 5) as u64;
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let mut rng = <qdp_rng::StdRng as qdp_rng::SeedableRng>::seed_from_u64(seed);
     PScalar(random_su3::<f64>(&mut rng))
 }
 

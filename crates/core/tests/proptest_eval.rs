@@ -1,15 +1,16 @@
 //! The central property: for *any* expression the typed layer can build,
 //! the generated-kernel path and the CPU reference path agree bit-for-bit.
 //! Random expression trees exercise every operator, shift direction, gamma
-//! matrix, scalar parameter and subset.
+//! matrix, scalar parameter and subset. Runs on the in-tree `qdp-proptest`
+//! harness: tree depth scales with the case size, so failures shrink
+//! toward shallow trees.
 
-use proptest::prelude::*;
 use qdp_core::prelude::*;
 use qdp_expr::{BinaryOp, Expr, ShiftDir, UnaryOp};
+use qdp_proptest::{check, prop_assert, Config, Gen};
+use qdp_rng::{SeedableRng, StdRng};
 use qdp_types::su3::random_su3;
 use qdp_types::{ElemKind, Gamma, PScalar, PVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Test fixture: a context with one field of each interesting kind.
@@ -73,40 +74,67 @@ enum CmNode {
     ScaleC(i32, i32, Box<CmNode>),
 }
 
-fn cm_strategy() -> impl Strategy<Value = CmNode> {
-    let leaf = prop_oneof![Just(CmNode::LeafU1), Just(CmNode::LeafU2)];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CmNode::Mul(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| CmNode::Adj(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CmNode::Add(Box::new(a), Box::new(b))),
-            (0..4u8, any::<bool>(), inner.clone())
-                .prop_map(|(mu, f, a)| CmNode::Shift(mu, f, Box::new(a))),
-            (-8..8i32, -8..8i32, inner)
-                .prop_map(|(re, im, a)| CmNode::ScaleC(re, im, Box::new(a))),
-        ]
-    })
+fn gen_cm(g: &mut Gen, depth: usize) -> CmNode {
+    if depth == 0 {
+        return if g.any_bool() {
+            CmNode::LeafU1
+        } else {
+            CmNode::LeafU2
+        };
+    }
+    match g.usize_in(0..7) {
+        0 => CmNode::LeafU1,
+        1 => CmNode::LeafU2,
+        2 => CmNode::Mul(
+            Box::new(gen_cm(g, depth - 1)),
+            Box::new(gen_cm(g, depth - 1)),
+        ),
+        3 => CmNode::Adj(Box::new(gen_cm(g, depth - 1))),
+        4 => CmNode::Add(
+            Box::new(gen_cm(g, depth - 1)),
+            Box::new(gen_cm(g, depth - 1)),
+        ),
+        5 => CmNode::Shift(g.u8_in(0..4), g.any_bool(), Box::new(gen_cm(g, depth - 1))),
+        _ => CmNode::ScaleC(
+            g.i32_in(-8..8),
+            g.i32_in(-8..8),
+            Box::new(gen_cm(g, depth - 1)),
+        ),
+    }
 }
 
-fn fermion_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![Just(Node::LeafPsi), Just(Node::LeafPhi)];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (cm_strategy(), inner.clone())
-                .prop_map(|(m, f)| Node::MulCmF(Box::new(m), Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::AddF(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::SubF(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Node::NegF(Box::new(a))),
-            (-8..8i32, inner.clone()).prop_map(|(s, a)| Node::ScaleF(s, Box::new(a))),
-            (0..16u8, inner.clone()).prop_map(|(n, a)| Node::GammaF(n, Box::new(a))),
-            (0..4u8, any::<bool>(), inner)
-                .prop_map(|(mu, f, a)| Node::ShiftF(mu, f, Box::new(a))),
-        ]
-    })
+fn gen_fermion(g: &mut Gen, depth: usize) -> Node {
+    if depth == 0 {
+        return if g.any_bool() {
+            Node::LeafPsi
+        } else {
+            Node::LeafPhi
+        };
+    }
+    match g.usize_in(0..9) {
+        0 => Node::LeafPsi,
+        1 => Node::LeafPhi,
+        2 => Node::MulCmF(
+            Box::new(gen_cm(g, depth - 1)),
+            Box::new(gen_fermion(g, depth - 1)),
+        ),
+        3 => Node::AddF(
+            Box::new(gen_fermion(g, depth - 1)),
+            Box::new(gen_fermion(g, depth - 1)),
+        ),
+        4 => Node::SubF(
+            Box::new(gen_fermion(g, depth - 1)),
+            Box::new(gen_fermion(g, depth - 1)),
+        ),
+        5 => Node::NegF(Box::new(gen_fermion(g, depth - 1))),
+        6 => Node::ScaleF(g.i32_in(-8..8), Box::new(gen_fermion(g, depth - 1))),
+        7 => Node::GammaF(g.u8_in(0..16), Box::new(gen_fermion(g, depth - 1))),
+        _ => Node::ShiftF(
+            g.u8_in(0..4),
+            g.any_bool(),
+            Box::new(gen_fermion(g, depth - 1)),
+        ),
+    }
 }
 
 fn build_cm(n: &CmNode, fx: &Fixture) -> Expr {
@@ -184,50 +212,48 @@ fn build_fermion(n: &Node, fx: &Fixture) -> Expr {
 
 fn compare(fx: &Fixture, expr: &Expr, kind: ElemKind, subset: Subset) {
     let ft = qdp_types::FloatType::F64;
-    let jit_id = fx.ctx.cache().register(
-        fx.ctx.geometry().vol() * qdp_types::TypeShape::of(kind).n_reals() * 8,
-    );
-    let ref_id = fx.ctx.cache().register(
-        fx.ctx.geometry().vol() * qdp_types::TypeShape::of(kind).n_reals() * 8,
-    );
+    let jit_id = fx
+        .ctx
+        .cache()
+        .register(fx.ctx.geometry().vol() * qdp_types::TypeShape::of(kind).n_reals() * 8);
+    let ref_id = fx
+        .ctx
+        .cache()
+        .register(fx.ctx.geometry().vol() * qdp_types::TypeShape::of(kind).n_reals() * 8);
     let jit_t = qdp_expr::FieldRef { id: jit_id, kind, ft };
     let ref_t = qdp_expr::FieldRef { id: ref_id, kind, ft };
     qdp_core::eval::eval_expr(&fx.ctx, jit_t, expr, subset).unwrap();
     qdp_core::eval::eval_reference(&fx.ctx, ref_t, expr, subset).unwrap();
     // compare raw host bytes: bit-exact equality
-    let a = fx
-        .ctx
-        .cache()
-        .with_host(jit_id, |h| h.to_vec())
-        .unwrap();
-    let b = fx
-        .ctx
-        .cache()
-        .with_host(ref_id, |h| h.to_vec())
-        .unwrap();
+    let a = fx.ctx.cache().with_host(jit_id, |h| h.to_vec()).unwrap();
+    let b = fx.ctx.cache().with_host(ref_id, |h| h.to_vec()).unwrap();
     fx.ctx.cache().unregister(jit_id);
     fx.ctx.cache().unregister(ref_id);
     assert_eq!(a, b, "JIT and reference disagree");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any fermion-typed expression: JIT == reference, bit for bit.
-    #[test]
-    fn random_fermion_expressions_agree(node in fermion_strategy(), seed in 0u64..1000) {
+/// Any fermion-typed expression: JIT == reference, bit for bit.
+#[test]
+fn random_fermion_expressions_agree() {
+    check("random_fermion_expressions_agree", Config::cases(24), |g| {
+        let depth = g.depth(3);
+        let node = gen_fermion(g, depth);
+        let seed = g.any_u64() % 1000;
         let fx = Fixture::new(seed);
         let expr = build_fermion(&node, &fx);
         compare(&fx, &expr, ElemKind::Fermion, Subset::All);
-    }
+        Ok(())
+    });
+}
 
-    /// Any color-matrix-typed expression, on a random subset.
-    #[test]
-    fn random_cm_expressions_agree(
-        node in cm_strategy(),
-        seed in 0u64..1000,
-        parity in 0u8..3
-    ) {
+/// Any color-matrix-typed expression, on a random subset.
+#[test]
+fn random_cm_expressions_agree() {
+    check("random_cm_expressions_agree", Config::cases(24), |g| {
+        let depth = g.depth(3);
+        let node = gen_cm(g, depth);
+        let seed = g.any_u64() % 1000;
+        let parity = g.u8_in(0..3);
         let fx = Fixture::new(seed);
         let expr = build_cm(&node, &fx);
         let subset = match parity {
@@ -236,11 +262,17 @@ proptest! {
             _ => Subset::Odd,
         };
         compare(&fx, &expr, ElemKind::ColorMatrix, subset);
-    }
+        Ok(())
+    });
+}
 
-    /// Reductions agree with a host-side sum over the reference evaluation.
-    #[test]
-    fn random_norms_agree(node in fermion_strategy(), seed in 0u64..1000) {
+/// Reductions agree with a host-side sum over the reference evaluation.
+#[test]
+fn random_norms_agree() {
+    check("random_norms_agree", Config::cases(24), |g| {
+        let depth = g.depth(3);
+        let node = gen_fermion(g, depth);
+        let seed = g.any_u64() % 1000;
         let fx = Fixture::new(seed);
         let expr = build_fermion(&node, &fx);
         let device = qdp_core::eval::norm2(&fx.ctx, &expr, Subset::All).unwrap();
@@ -261,7 +293,12 @@ proptest! {
             })
             .sum();
         let scale = host.abs().max(1.0);
-        prop_assert!((device - host).abs() / scale < 1e-9,
-            "norm2 device {} vs host {}", device, host);
-    }
+        prop_assert!(
+            (device - host).abs() / scale < 1e-9,
+            "norm2 device {} vs host {}",
+            device,
+            host
+        );
+        Ok(())
+    });
 }

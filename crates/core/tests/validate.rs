@@ -8,8 +8,7 @@ use qdp_types::su3::random_su3;
 use qdp_types::{
     CloverDiag, CloverTriang, ColorMatrix, Fermion, PScalar, PVector, SpinMatrix,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 use std::sync::Arc;
 
 type C64 = qdp_types::Complex<f64>;
@@ -186,7 +185,7 @@ fn clover_apply_matches_reference_and_packed_host_blocks() {
     let ctx = ctx4();
     let mut rng = StdRng::seed_from_u64(8);
     // random Hermitian positive-ish blocks per site
-    let mut mk_block = |rng: &mut StdRng| {
+    let mk_block = |rng: &mut StdRng| {
         let mut full = [[C64::zero(); 6]; 6];
         for i in 0..6 {
             for j in 0..i {

@@ -4,7 +4,7 @@ use crate::config::DeviceConfig;
 use crate::memory::{DeviceMemory, DevicePtr};
 use crate::perf::{launch_timing, KernelShape, LaunchError, LaunchTiming};
 use crate::DeviceError;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// Cumulative device statistics (reported by benchmark harnesses and the
 /// cache ablation).

@@ -24,7 +24,9 @@
 pub mod config;
 pub mod device;
 pub mod memory;
+pub mod par;
 pub mod perf;
+pub mod sync;
 
 pub use config::DeviceConfig;
 pub use device::{Device, DeviceStats};

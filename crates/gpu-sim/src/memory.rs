@@ -3,7 +3,7 @@
 //!
 //! # Safety model
 //!
-//! Kernel execution is parallel over thread blocks (rayon), and blocks of a
+//! Kernel execution is parallel over thread blocks ([`crate::par`]), and blocks of a
 //! streaming kernel write *disjoint* sites — the code generator assigns each
 //! thread exactly its own output elements, like on real hardware. Reads of
 //! input fields may happen concurrently (no writers exist for them during a
@@ -12,7 +12,7 @@
 //! codegen bug panics instead of corrupting unrelated memory.
 
 use crate::DeviceError;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
 
 /// A device pointer: byte offset into the arena. Offset 0 is reserved as

@@ -13,7 +13,7 @@
 //! kernel tuning is carried out on the payload compute launches"* — the
 //! tuner only chooses block sizes for launches that would happen anyway.
 
-use parking_lot::Mutex;
+use qdp_gpu_sim::sync::Mutex;
 use std::collections::HashMap;
 
 /// Smallest block size worth probing (one warp).

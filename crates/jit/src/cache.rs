@@ -6,7 +6,7 @@
 //! seconds" (§III-D, §VIII-D). The cache key is a hash of the PTX text.
 
 use crate::lower::{compile_ptx, CompiledKernel, JitError};
-use parking_lot::Mutex;
+use qdp_gpu_sim::sync::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};

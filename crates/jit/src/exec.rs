@@ -10,7 +10,7 @@ use crate::lower::{AVal, COp, CompiledKernel};
 use qdp_gpu_sim::DeviceMemory;
 use qdp_ptx::inst::{BinOp, CmpOp, SpecialReg, UnOp};
 use qdp_ptx::types::PtxType;
-use rayon::prelude::*;
+use qdp_gpu_sim::par::parallel_for;
 
 /// A kernel launch argument.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -478,7 +478,8 @@ pub fn run_grid(
         args.len()
     );
     let bits: Vec<u64> = args.iter().map(|a| a.bits()).collect();
-    (0..n_blocks).into_par_iter().for_each(|block| {
+    parallel_for(n_blocks as usize, |block| {
+        let block = block as u32;
         let mut regs = vec![0u64; k.n_slots as usize];
         for thread in 0..block_size {
             run_thread(

@@ -9,7 +9,7 @@
 //!   register slots, branch targets and parameter indices — the "GPU code"
 //!   stage;
 //! * [`exec`] executes a compiled kernel over a grid of thread blocks
-//!   (rayon-parallel across blocks, like blocks across SMs), reading and
+//!   (parallel across blocks via `qdp_gpu_sim::par`, like blocks across SMs), reading and
 //!   writing simulated device memory bit-exactly;
 //! * [`cache`] is the compiled-kernel cache: each distinct PTX program is
 //!   translated once (the paper measures 0.05–0.22 s per kernel, §III-D,

@@ -1,20 +1,20 @@
 //! Property tests on geometry, layouts and subsets: bijections,
 //! involutions and exact partitions for arbitrary lattice shapes.
+//! Runs on the in-tree `qdp-proptest` harness.
 
-use proptest::prelude::*;
 use qdp_layout::{Decomposition, Dir, FieldLayout, Geometry, LayoutKind, Subset};
+use qdp_proptest::{check, prop_assert, prop_assert_eq, Config, Gen};
 
-fn dims_strategy() -> impl Strategy<Value = [usize; 4]> {
+fn dims(g: &mut Gen) -> [usize; 4] {
     // keep volumes small enough to enumerate
-    [1usize..7, 1usize..7, 1usize..7, 1usize..7]
+    std::array::from_fn(|_| g.usize_in(1..7))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// coord_of and index_of are inverse bijections.
-    #[test]
-    fn coord_index_bijection(dims in dims_strategy()) {
+/// coord_of and index_of are inverse bijections.
+#[test]
+fn coord_index_bijection() {
+    check("coord_index_bijection", Config::cases(48), |gen| {
+        let dims = dims(gen);
         let g = Geometry::new(dims);
         let mut seen = vec![false; g.vol()];
         for i in 0..g.vol() {
@@ -27,39 +27,53 @@ proptest! {
             prop_assert!(!seen[i]);
             seen[i] = true;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// forward∘backward = identity in every dimension.
-    #[test]
-    fn neighbor_involution(dims in dims_strategy(), mu in 0usize..4) {
-        let g = Geometry::new(dims);
+/// forward∘backward = identity in every dimension.
+#[test]
+fn neighbor_involution() {
+    check("neighbor_involution", Config::cases(48), |gen| {
+        let g = Geometry::new(dims(gen));
+        let mu = gen.usize_in(0..4);
         for i in 0..g.vol() {
             let (f, _) = g.neighbor(i, mu, Dir::Forward);
             let (b, _) = g.neighbor(f, mu, Dir::Backward);
             prop_assert_eq!(b, i);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// L applications of a forward shift return to the start (periodicity).
-    #[test]
-    fn shift_periodicity(dims in dims_strategy(), mu in 0usize..4) {
+/// L applications of a forward shift return to the start (periodicity).
+#[test]
+fn shift_periodicity() {
+    check("shift_periodicity", Config::cases(48), |gen| {
+        let dims = dims(gen);
         let g = Geometry::new(dims);
+        let mu = gen.usize_in(0..4);
         let start = g.vol() / 2;
         let mut s = start;
         for _ in 0..dims[mu] {
             s = g.neighbor(s, mu, Dir::Forward).0;
         }
         prop_assert_eq!(s, start);
-    }
+        Ok(())
+    });
+}
 
-    /// Both layouts are bijections site×comp → [0, n_reals).
-    #[test]
-    fn layout_bijection(
-        n_sites in 1usize..200,
-        n_comp in 1usize..40,
-        aos in any::<bool>()
-    ) {
-        let kind = if aos { LayoutKind::AoS } else { LayoutKind::SoA };
+/// Both layouts are bijections site×comp → [0, n_reals).
+#[test]
+fn layout_bijection() {
+    check("layout_bijection", Config::cases(48), |g| {
+        let n_sites = g.usize_in(1..200);
+        let n_comp = g.usize_in(1..40);
+        let kind = if g.any_bool() {
+            LayoutKind::AoS
+        } else {
+            LayoutKind::SoA
+        };
         let l = FieldLayout::new(kind, n_sites, n_comp);
         let mut seen = vec![false; l.n_reals()];
         for s in 0..n_sites {
@@ -70,25 +84,32 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&b| b));
-    }
+        Ok(())
+    });
+}
 
-    /// Even/odd partition the lattice exactly; neighbours alternate parity
-    /// iff the extent is even along the step.
-    #[test]
-    fn subsets_partition(dims in dims_strategy()) {
-        let g = Geometry::new(dims);
+/// Even/odd partition the lattice exactly; neighbours alternate parity
+/// iff the extent is even along the step.
+#[test]
+fn subsets_partition() {
+    check("subsets_partition", Config::cases(48), |gen| {
+        let g = Geometry::new(dims(gen));
         let even = Subset::Even.sites(&g);
         let odd = Subset::Odd.sites(&g);
         prop_assert_eq!(even.len() + odd.len(), g.vol());
         let mut all: Vec<u32> = even.iter().chain(odd.iter()).copied().collect();
         all.sort_unstable();
         prop_assert_eq!(all, (0..g.vol() as u32).collect::<Vec<_>>());
-    }
+        Ok(())
+    });
+}
 
-    /// Face slabs and inner sites partition the lattice for any face set.
-    #[test]
-    fn face_inner_partition(dims in dims_strategy(), mask in 0u8..=255) {
-        let g = Geometry::new(dims);
+/// Face slabs and inner sites partition the lattice for any face set.
+#[test]
+fn face_inner_partition() {
+    check("face_inner_partition", Config::cases(48), |gen| {
+        let g = Geometry::new(dims(gen));
+        let mask = gen.any_u8();
         let mut faces = Vec::new();
         for mu in 0..4 {
             if mask & (1 << mu) != 0 {
@@ -104,13 +125,21 @@ proptest! {
         let mut all: Vec<u32> = inner.iter().chain(face.iter()).copied().collect();
         all.sort_unstable();
         prop_assert_eq!(all, (0..g.vol() as u32).collect::<Vec<_>>());
-    }
+        Ok(())
+    });
+}
 
-    /// face_slot is a bijection onto 0..face_vol for every slab.
-    #[test]
-    fn face_slots_dense(dims in dims_strategy(), mu in 0usize..4, fwd in any::<bool>()) {
-        let g = Geometry::new(dims);
-        let dir = if fwd { Dir::Forward } else { Dir::Backward };
+/// face_slot is a bijection onto 0..face_vol for every slab.
+#[test]
+fn face_slots_dense() {
+    check("face_slots_dense", Config::cases(48), |gen| {
+        let g = Geometry::new(dims(gen));
+        let mu = gen.usize_in(0..4);
+        let dir = if gen.any_bool() {
+            Dir::Forward
+        } else {
+            Dir::Backward
+        };
         let face = g.face_sites(mu, dir);
         let mut seen = vec![false; g.face_vol(mu)];
         for &s in &face {
@@ -119,14 +148,15 @@ proptest! {
             seen[slot] = true;
         }
         prop_assert!(seen.iter().all(|&b| b));
-    }
+        Ok(())
+    });
+}
 
-    /// Decomposition tiles the global lattice exactly.
-    #[test]
-    fn decomposition_tiles(
-        ranks_bits in [0usize..3, 0usize..3, 0usize..3, 0usize..3]
-    ) {
-        let ranks: [usize; 4] = std::array::from_fn(|i| 1 << ranks_bits[i]);
+/// Decomposition tiles the global lattice exactly.
+#[test]
+fn decomposition_tiles() {
+    check("decomposition_tiles", Config::cases(48), |g| {
+        let ranks: [usize; 4] = std::array::from_fn(|_| 1 << g.usize_in(0..3));
         let global: [usize; 4] = std::array::from_fn(|i| ranks[i] * 2);
         let d = Decomposition::new(global, ranks);
         let mut seen = std::collections::HashSet::new();
@@ -137,5 +167,6 @@ proptest! {
             }
         }
         prop_assert_eq!(seen.len(), global.iter().product::<usize>());
-    }
+        Ok(())
+    });
 }

@@ -1,8 +1,9 @@
 //! Property tests: PTX emission and parsing are exact inverses for any
 //! kernel the builder can produce (the generate → print → parse chain the
-//! JIT relies on must be lossless).
+//! JIT relies on must be lossless). Runs on the in-tree `qdp-proptest`
+//! harness: a failing kernel shrinks by re-deriving with fewer steps.
 
-use proptest::prelude::*;
+use qdp_proptest::{check, prop_assert_eq, Config, Gen};
 use qdp_ptx::emit::emit_module;
 use qdp_ptx::inst::{BinOp, CmpOp, Inst, MathFn, Operand, UnOp};
 use qdp_ptx::module::{KernelBuilder, Module};
@@ -17,8 +18,8 @@ enum Step {
     FloatUn(u8, bool, u8),
     IntBin(u8, u8, u8),
     Fma(bool, u8, u8, u8),
-    Cvt(bool, u8),       // f32<->f64
-    MovImmF(bool, i32),  // value as small int
+    Cvt(bool, u8),      // f32<->f64
+    MovImmF(bool, i32), // value as small int
     MovImmI(i64),
     Setp(u8, u8, u8),
     Selp(bool, u8, u8),
@@ -26,23 +27,24 @@ enum Step {
     Call(u8, bool, u8),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..5u8, any::<bool>(), any::<u8>(), any::<u8>())
-            .prop_map(|(o, d, a, b)| Step::FloatBin(o, d, a, b)),
-        (0..4u8, any::<bool>(), any::<u8>()).prop_map(|(o, d, a)| Step::FloatUn(o, d, a)),
-        (0..8u8, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Step::IntBin(o, a, b)),
-        (any::<bool>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(d, a, b, c)| Step::Fma(d, a, b, c)),
-        (any::<bool>(), any::<u8>()).prop_map(|(d, a)| Step::Cvt(d, a)),
-        (any::<bool>(), -1000..1000i32).prop_map(|(d, v)| Step::MovImmF(d, v)),
-        any::<i64>().prop_map(Step::MovImmI),
-        (0..6u8, any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Setp(c, a, b)),
-        (any::<bool>(), any::<u8>(), any::<u8>()).prop_map(|(d, a, b)| Step::Selp(d, a, b)),
-        (any::<bool>(), any::<u8>(), any::<i8>())
-            .prop_map(|(d, v, o)| Step::LoadStore(d, v, o)),
-        (0..4u8, any::<bool>(), any::<u8>()).prop_map(|(f, d, a)| Step::Call(f, d, a)),
-    ]
+fn gen_step(g: &mut Gen) -> Step {
+    match g.usize_in(0..11) {
+        0 => Step::FloatBin(g.u8_in(0..5), g.any_bool(), g.any_u8(), g.any_u8()),
+        1 => Step::FloatUn(g.u8_in(0..4), g.any_bool(), g.any_u8()),
+        2 => Step::IntBin(g.u8_in(0..8), g.any_u8(), g.any_u8()),
+        3 => Step::Fma(g.any_bool(), g.any_u8(), g.any_u8(), g.any_u8()),
+        4 => Step::Cvt(g.any_bool(), g.any_u8()),
+        5 => Step::MovImmF(g.any_bool(), g.i32_in(-1000..1000)),
+        6 => Step::MovImmI(g.any_i64()),
+        7 => Step::Setp(g.u8_in(0..6), g.any_u8(), g.any_u8()),
+        8 => Step::Selp(g.any_bool(), g.any_u8(), g.any_u8()),
+        9 => Step::LoadStore(g.any_bool(), g.any_u8(), g.any_i64() as i8),
+        _ => Step::Call(g.u8_in(0..4), g.any_bool(), g.any_u8()),
+    }
+}
+
+fn gen_steps(g: &mut Gen, max: usize) -> Vec<Step> {
+    g.vec_of(0..max, gen_step)
 }
 
 fn build_kernel(steps: &[Step]) -> Module {
@@ -229,32 +231,39 @@ fn build_kernel(steps: &[Step]) -> Module {
     Module::with_kernel(b.finish())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// emit → parse recovers the exact IR.
-    #[test]
-    fn emit_parse_roundtrip(steps in proptest::collection::vec(step_strategy(), 0..60)) {
+/// emit → parse recovers the exact IR.
+#[test]
+fn emit_parse_roundtrip() {
+    check("emit_parse_roundtrip", Config::cases(64), |g| {
+        let steps = gen_steps(g, 60);
         let module = build_kernel(&steps);
         module.validate().unwrap();
         let text = emit_module(&module);
         let parsed = parse_module(&text).expect("parse emitted PTX");
         prop_assert_eq!(parsed, module);
-    }
+        Ok(())
+    });
+}
 
-    /// emit ∘ parse ∘ emit is idempotent on text.
-    #[test]
-    fn text_idempotence(steps in proptest::collection::vec(step_strategy(), 0..40)) {
+/// emit ∘ parse ∘ emit is idempotent on text.
+#[test]
+fn text_idempotence() {
+    check("text_idempotence", Config::cases(64), |g| {
+        let steps = gen_steps(g, 40);
         let module = build_kernel(&steps);
         let t1 = emit_module(&module);
         let t2 = emit_module(&parse_module(&t1).unwrap());
         prop_assert_eq!(t1, t2);
-    }
+        Ok(())
+    });
+}
 
-    /// Parsed kernels survive the JIT resource accounting: register counts
-    /// from the builder match what the text declares.
-    #[test]
-    fn reg_counts_preserved(steps in proptest::collection::vec(step_strategy(), 0..40)) {
+/// Parsed kernels survive the JIT resource accounting: register counts
+/// from the builder match what the text declares.
+#[test]
+fn reg_counts_preserved() {
+    check("reg_counts_preserved", Config::cases(64), |g| {
+        let steps = gen_steps(g, 40);
         let module = build_kernel(&steps);
         let text = emit_module(&module);
         let parsed = parse_module(&text).unwrap();
@@ -267,5 +276,6 @@ proptest! {
             parsed.kernels[0].thread_flops(),
             module.kernels[0].thread_flops()
         );
-    }
+        Ok(())
+    });
 }

@@ -217,8 +217,8 @@ mod tests {
     use qdp_types::su3::random_su3;
     use qdp_types::Complex;
     use qdp_types::PScalar;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qdp_rng::StdRng;
+    use qdp_rng::SeedableRng;
 
     fn setup() -> (HostGauge, Vec<Fermion<f64>>) {
         let geom = Geometry::symmetric(4);

@@ -1,0 +1,284 @@
+//! # qdp-rng — in-tree pseudo-random numbers
+//!
+//! The workspace builds fully offline, so instead of pulling `rand` from a
+//! registry we carry the small amount of RNG machinery the framework
+//! actually uses: a [SplitMix64] stream to expand a `u64` seed into full
+//! generator state, a [xoshiro256**] core generator, uniform `u64`/`f64`
+//! and range sampling, and a Box–Muller Gaussian helper.
+//!
+//! The API mirrors the `rand` idioms used by the call sites so ports stay
+//! mechanical:
+//!
+//! ```
+//! use qdp_rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.random();          // uniform in [0, 1)
+//! let k = rng.random_range(0..10u64); // uniform in [0, 10)
+//! let g = rng.gaussian();             // standard normal
+//! # let _ = (x, k, g);
+//! ```
+//!
+//! Fixed seeds are bit-reproducible: the same seed always yields the same
+//! stream on every platform (the generators are pure integer arithmetic).
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//! [xoshiro256**]: https://prng.di.unimi.it/xoshiro256starstar.c
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Expand a `u64` seed into a stream of well-mixed `u64`s (Vigna's
+/// SplitMix64). Used only for seeding the main generator: consecutive
+/// integer seeds produce decorrelated xoshiro states.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start the stream at `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Construction from seeds (the subset of `rand::SeedableRng` we use).
+pub trait SeedableRng: Sized {
+    /// Build a generator from 32 bytes of seed material.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Build a generator from a `u64`, expanding it through SplitMix64.
+    /// This is how every fixed-seed call site in the workspace seeds.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&sm.next_u64().to_le_bytes());
+        }
+        Self::from_seed(bytes)
+    }
+}
+
+/// A uniform random generator. `next_u64` is the primitive; everything
+/// else derives from it.
+pub trait Rng {
+    /// Next raw 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 uniform bits (high half — xoshiro's low bits are the
+    /// weaker ones for the `**` scrambler's linear relatives).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform sample of `T` (`f64`/`f32` in `[0,1)`, integers over
+    /// their full range, `bool` fair).
+    fn random<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open integer range.
+    fn random_range(&mut self, range: std::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        let span = range.end.checked_sub(range.start).expect("empty range");
+        assert!(span > 0, "empty range");
+        // Lemire-style rejection to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return range.start + v % span;
+            }
+        }
+    }
+
+    /// Standard normal via Box–Muller.
+    fn gaussian(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        loop {
+            let u1: f64 = self.random();
+            if u1 > 1e-300 {
+                let u2: f64 = self.random();
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+/// Name-compatibility alias: call sites written against `rand`'s split
+/// `Rng`/`RngExt` traits import both; here they are the same trait.
+pub use self::Rng as RngExt;
+
+/// Types [`Rng::random`] can produce.
+pub trait Sample {
+    /// Draw one uniform value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Sample for u8 {
+    fn sample<R: Rng>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for usize {
+    fn sample<R: Rng>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for i64 {
+    fn sample<R: Rng>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        // high bit: see `next_u32` on bit quality
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa.
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with the full 24 bits of mantissa.
+    fn sample<R: Rng>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0 from the reference C implementation.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(12345);
+        let mut b = StdRng::seed_from_u64(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // a different seed must diverge immediately
+        let mut c = StdRng::seed_from_u64(12346);
+        let mut d = StdRng::seed_from_u64(12345);
+        assert_ne!(
+            (0..4).map(|_| c.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| d.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval_with_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        // E[x] = 1/2, Var[x] = 1/12; tolerances ~5 sigma for this n
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut m1, mut m2, mut m3, mut m4) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let g = rng.gaussian();
+            m1 += g;
+            m2 += g * g;
+            m3 += g * g * g;
+            m4 += g * g * g * g;
+        }
+        let nf = n as f64;
+        assert!((m1 / nf).abs() < 0.02, "mean {}", m1 / nf);
+        assert!((m2 / nf - 1.0).abs() < 0.03, "var {}", m2 / nf);
+        assert!((m3 / nf).abs() < 0.06, "skew {}", m3 / nf);
+        assert!((m4 / nf - 3.0).abs() < 0.15, "kurtosis {}", m4 / nf);
+    }
+
+    #[test]
+    fn random_range_unbiased_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            let v = rng.random_range(10..17);
+            assert!((10..17).contains(&v));
+            counts[(v - 10) as usize] += 1;
+        }
+        let expect = n / 7;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn bool_and_u8_cover_their_ranges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut trues = 0usize;
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            if rng.random::<bool>() {
+                trues += 1;
+            }
+            seen[rng.random::<u8>() as usize] = true;
+        }
+        assert!((trues as f64 / 20_000.0 - 0.5).abs() < 0.02);
+        assert!(seen.iter().all(|&b| b), "all byte values reachable");
+    }
+}

@@ -5,7 +5,7 @@ use crate::complex::Complex;
 use crate::inner::{PMatrix, PScalar, Ring};
 use crate::real::Real;
 use crate::ColorMatrix;
-use rand::{Rng, RngExt};
+use qdp_rng::Rng;
 
 /// A 3×3 complex matrix (the color level of a [`ColorMatrix`]).
 pub type Matrix3<R> = PMatrix<Complex<R>, 3>;
@@ -171,8 +171,8 @@ pub fn to_site_elem<R: Real>(m: Matrix3<R>) -> ColorMatrix<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qdp_rng::StdRng;
+    use qdp_rng::SeedableRng;
 
     #[test]
     fn random_su3_is_special_unitary() {

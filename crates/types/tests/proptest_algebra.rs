@@ -1,31 +1,27 @@
 //! Property tests on the type algebra: group/algebra closure, gamma
 //! Clifford structure, clover packing, flatten/unflatten bijections.
+//! Runs on the in-tree `qdp-proptest` harness (seeded cases, bounded
+//! shrinking); see that crate's docs for replaying failures.
 
-use proptest::prelude::*;
+use qdp_proptest::{check, prop_assert, prop_assert_eq, Config, Gen};
+use qdp_rng::{SeedableRng, StdRng};
 use qdp_types::clover_block::CloverBlockPacked;
 use qdp_types::su3::{det3, expm, random_algebra, random_su3, reunitarize, su3_violation};
 use qdp_types::{
     CloverTriang, ColorMatrix, Complex, Fermion, Gamma, LatticeElem, PMatrix, PScalar, PVector,
     SpinMatrix,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn c64(re: f64, im: f64) -> Complex<f64> {
     Complex::new(re, im)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Complex arithmetic satisfies the field axioms we rely on.
-    #[test]
-    fn complex_axioms(
-        a in (-10.0..10.0f64, -10.0..10.0f64),
-        b in (-10.0..10.0f64, -10.0..10.0f64),
-        c in (-10.0..10.0f64, -10.0..10.0f64),
-    ) {
-        let (x, y, z) = (c64(a.0, a.1), c64(b.0, b.1), c64(c.0, c.1));
+/// Complex arithmetic satisfies the field axioms we rely on.
+#[test]
+fn complex_axioms() {
+    check("complex_axioms", Config::cases(64), |g| {
+        let draw = |g: &mut Gen| c64(g.f64_in(-10.0..10.0), g.f64_in(-10.0..10.0));
+        let (x, y, z) = (draw(g), draw(g), draw(g));
         // distributivity (exact: same fp ops on both sides is not
         // guaranteed, so allow rounding)
         let lhs = x * (y + z);
@@ -37,23 +33,30 @@ proptest! {
         prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() < 1e-9);
         // i·z via rotation helpers
         prop_assert_eq!(x.mul_i(), x * Complex::i());
-    }
+        Ok(())
+    });
+}
 
-    /// Random SU(3) products stay in SU(3); the determinant is 1.
-    #[test]
-    fn su3_closure(seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Random SU(3) products stay in SU(3); the determinant is 1.
+#[test]
+fn su3_closure() {
+    check("su3_closure", Config::cases(64), |g| {
+        let mut rng = StdRng::seed_from_u64(g.any_u64());
         let a = random_su3::<f64>(&mut rng);
         let b = random_su3::<f64>(&mut rng);
         let p = a * b;
         prop_assert!(su3_violation(&p) < 1e-20);
         prop_assert!((det3(&p) - Complex::one()).abs() < 1e-10);
-    }
+        Ok(())
+    });
+}
 
-    /// exp of the algebra lands in the group; reunitarize is idempotent.
-    #[test]
-    fn exp_algebra_in_group(seed in any::<u64>(), scale in 0.01..2.0f64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// exp of the algebra lands in the group; reunitarize is idempotent.
+#[test]
+fn exp_algebra_in_group() {
+    check("exp_algebra_in_group", Config::cases(64), |g| {
+        let mut rng = StdRng::seed_from_u64(g.any_u64());
+        let scale = g.f64_in(0.01..2.0);
         let p = random_algebra::<f64>(&mut rng);
         let scaled = PMatrix::from_fn(|i, j| p.0[i][j].scale(scale));
         let u = expm(&scaled);
@@ -61,12 +64,15 @@ proptest! {
         let v = reunitarize(&u);
         let w = reunitarize(&v);
         prop_assert!(qdp_types::su3::frob_dist_sqr(&v, &w) < 1e-24);
-    }
+        Ok(())
+    });
+}
 
-    /// exp(A)·exp(−A) = 1.
-    #[test]
-    fn exp_inverse(seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// exp(A)·exp(−A) = 1.
+#[test]
+fn exp_inverse() {
+    check("exp_inverse", Config::cases(64), |g| {
+        let mut rng = StdRng::seed_from_u64(g.any_u64());
         let p = random_algebra::<f64>(&mut rng);
         let u = expm(&p);
         let neg = PMatrix::from_fn(|i, j| -p.0[i][j]);
@@ -74,13 +80,18 @@ proptest! {
         let prod = u * uinv;
         let id: qdp_types::su3::Matrix3<f64> = PMatrix::identity();
         prop_assert!(qdp_types::su3::frob_dist_sqr(&prod, &id) < 1e-16);
-    }
+        Ok(())
+    });
+}
 
-    /// The 16 Gamma(n) form a closed set under multiplication up to phase,
-    /// and every one is unitary.
-    #[test]
-    fn gamma_group_structure(n in 0usize..16, m in 0usize..16) {
+/// The 16 Gamma(n) form a closed set under multiplication up to phase,
+/// and every one is unitary.
+#[test]
+fn gamma_group_structure() {
+    check("gamma_group_structure", Config::cases(64), |g| {
         use qdp_types::inner::Ring;
+        let n = g.usize_in(0..16);
+        let m = g.usize_in(0..16);
         let a = Gamma::from_index(n);
         let b = Gamma::from_index(m);
         let prod = a.mul(b);
@@ -104,13 +115,16 @@ proptest! {
                 prop_assert!((sparse.0[s].0[c] - dense.0[s].0[c]).abs() < 1e-13);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Clover block: pack/unpack roundtrip, apply = dense multiply,
-    /// invert ∘ apply = identity for diagonally dominant blocks.
-    #[test]
-    fn clover_block_properties(seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Clover block: pack/unpack roundtrip, apply = dense multiply,
+/// invert ∘ apply = identity for diagonally dominant blocks.
+#[test]
+fn clover_block_properties() {
+    check("clover_block_properties", Config::cases(64), |g| {
+        let mut rng = StdRng::seed_from_u64(g.any_u64());
         let mut full = [[Complex::<f64>::zero(); 6]; 6];
         for i in 0..6 {
             for j in 0..i {
@@ -118,15 +132,13 @@ proptest! {
                 full[i][j] = z;
                 full[j][i] = z.conj();
             }
-            full[i][i] = Complex::from_real(
-                4.0 + qdp_types::su3::gaussian::<f64>(&mut rng).abs(),
-            );
+            full[i][i] =
+                Complex::from_real(4.0 + qdp_types::su3::gaussian::<f64>(&mut rng).abs());
         }
         let b = CloverBlockPacked::pack(&full);
         prop_assert_eq!(CloverBlockPacked::pack(&b.unpack()), b);
-        let x: [Complex<f64>; 6] = std::array::from_fn(|i| {
-            c64(1.0 - i as f64 * 0.3, 0.5 * i as f64)
-        });
+        let x: [Complex<f64>; 6] =
+            std::array::from_fn(|i| c64(1.0 - i as f64 * 0.3, 0.5 * i as f64));
         let y = b.apply(&x);
         let inv = b.invert().expect("diagonally dominant");
         let back = inv.apply(&y);
@@ -136,12 +148,15 @@ proptest! {
         // log det of A then of A^-1 cancel
         let ld = b.log_det().unwrap() + inv.log_det().unwrap();
         prop_assert!(ld.abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// flatten/unflatten are inverse for every site element type.
-    #[test]
-    fn flatten_roundtrips(seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// flatten/unflatten are inverse for every site element type.
+#[test]
+fn flatten_roundtrips() {
+    check("flatten_roundtrips", Config::cases(64), |gc| {
+        let mut rng = StdRng::seed_from_u64(gc.any_u64());
         let mut g = || qdp_types::su3::gaussian_complex::<f64>(&mut rng);
 
         let f: Fermion<f64> = PVector::from_fn(|_| PVector::from_fn(|_| g()));
@@ -165,13 +180,16 @@ proptest! {
         let mut buf = vec![0.0f64; 60];
         t.flatten(&mut buf);
         prop_assert_eq!(CloverTriang::<f64>::unflatten(&buf), t);
-    }
+        Ok(())
+    });
+}
 
-    /// Matrix algebra: (AB)† = B†A†, tr(AB) = tr(BA), A·1 = A.
-    #[test]
-    fn matrix_identities(seed in any::<u64>()) {
+/// Matrix algebra: (AB)† = B†A†, tr(AB) = tr(BA), A·1 = A.
+#[test]
+fn matrix_identities() {
+    check("matrix_identities", Config::cases(64), |g| {
         use qdp_types::inner::Ring;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(g.any_u64());
         let a = random_su3::<f64>(&mut rng);
         let b = random_su3::<f64>(&mut rng);
         let lhs = (a * b).adj();
@@ -184,5 +202,6 @@ proptest! {
         prop_assert!(((a * b).trace() - (b * a).trace()).abs() < 1e-12);
         let id: qdp_types::su3::Matrix3<f64> = PMatrix::identity();
         prop_assert_eq!(a * id, a);
-    }
+        Ok(())
+    });
 }

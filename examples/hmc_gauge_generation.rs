@@ -7,8 +7,7 @@
 use chroma_mini::gauge::GaugeField;
 use chroma_mini::hmc::Hmc;
 use qdp_jit_rs::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = QdpContext::k20x(Geometry::symmetric(4));

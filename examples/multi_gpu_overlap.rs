@@ -35,7 +35,7 @@ fn main() {
                     let c = decomp.global_coord(rank, s);
                     let seed = (c[0] * 97 + c[1] * 89 + c[2] * 83 + c[3] * 79) as u64;
                     let mut rng =
-                        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                        <qdp_rng::StdRng as qdp_rng::SeedableRng>::seed_from_u64(seed);
                     PScalar(random_su3(&mut rng))
                 });
                 let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| {

@@ -10,8 +10,7 @@
 use qdp_jit_rs::prelude::*;
 use qdp_types::su3::random_su3;
 use qdp_types::{PScalar, PVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 8^4 lattice on a simulated Tesla K20x (the paper's device).

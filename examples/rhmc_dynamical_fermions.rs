@@ -10,8 +10,7 @@ use chroma_mini::gauge::GaugeField;
 use chroma_mini::hmc::{GaugeAction, HasenbuschPair, Hmc, Integrator, RationalOneFlavor};
 use chroma_mini::zolotarev::{fit_power, zolotarev_inv_sqrt};
 use qdp_jit_rs::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = QdpContext::k20x(Geometry::symmetric(4));

@@ -12,8 +12,7 @@ use chroma_mini::fermion::{wilson_hopping_expr, WilsonDirac};
 use chroma_mini::gauge::{gaussian_fermion, GaugeField};
 use chroma_mini::solver::cg_solve;
 use qdp_jit_rs::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = QdpContext::k20x(Geometry::symmetric(6));

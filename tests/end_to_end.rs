@@ -8,8 +8,7 @@ use chroma_mini::gauge::{gaussian_fermion, GaugeField};
 use qdp_jit_rs::prelude::*;
 use qdp_types::su3::random_su3;
 use qdp_types::{Complex, Fermion, Gamma, PScalar, PVector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qdp_rng::{SeedableRng, StdRng};
 use std::sync::Arc;
 
 fn setup(l: usize, seed: u64) -> (Arc<QdpContext>, GaugeField, StdRng) {
