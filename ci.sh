@@ -37,4 +37,17 @@ echo "ok: no registry dependencies in any Cargo.toml"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
-echo "ci.sh: all green (offline build + workspace tests)"
+# ---- Telemetry smoke: profile + Chrome trace on a real workload ------------
+# Run the Wilson-dslash example with the profiler and tracer on, then verify
+# the trace with the in-tree checker: the file must exist, parse as Chrome
+# trace JSON, and contain at least one device kernel event.
+trace=/tmp/qdp_ci_trace.json
+rm -f "$trace"
+QDP_PROFILE=1 QDP_TRACE="$trace" \
+    cargo run --release --offline --example wilson_dslash >/dev/null
+cargo run --release --offline -p qdp-telemetry --bin trace_check -- \
+    "$trace" --min-kernel-events 1
+rm -f "$trace"
+echo "ok: telemetry profile + trace smoke"
+
+echo "ci.sh: all green (offline build + workspace tests + telemetry smoke)"

@@ -17,11 +17,19 @@
 //! - `QDP_BENCH_WARMUP_MS` — warmup budget per benchmark (default 100)
 //! - `QDP_BENCH_SAMPLE_MS` — total measured time per benchmark (default 500)
 //! - `QDP_BENCH_SAMPLES`   — number of samples (default 25)
+//! - `QDP_BENCH_JSON`      — path of the machine-readable results file
+//!   (default `BENCH_framework.json`; set to the empty string to disable)
+//!
+//! Besides the stdout table, the harness writes the results as a JSON array
+//! (`[{"name", "min", "median", "mean", "sigma"}, …]`, seconds per
+//! iteration) when it is dropped — the repo's perf-trajectory tracking
+//! consumes these files across commits.
 //!
 //! A substring filter can be passed on the command line
 //! (`cargo bench --bench framework -- codegen` runs only matching benches).
 
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Batch-size hint for [`Bencher::iter_batched`]. Accepted for source
@@ -163,6 +171,7 @@ pub struct Harness {
     n_samples: usize,
     filter: Option<String>,
     results: Vec<(String, Stats)>,
+    json_path: Option<PathBuf>,
 }
 
 fn env_u64(key: &str, default: u64) -> u64 {
@@ -186,12 +195,18 @@ impl Harness {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-'));
+        let json_path = match std::env::var("QDP_BENCH_JSON") {
+            Ok(p) if p.is_empty() => None,
+            Ok(p) => Some(PathBuf::from(p)),
+            Err(_) => Some(PathBuf::from("BENCH_framework.json")),
+        };
         Harness {
             warmup: Duration::from_millis(env_u64("QDP_BENCH_WARMUP_MS", 100)),
             measure: Duration::from_millis(env_u64("QDP_BENCH_SAMPLE_MS", 500)),
             n_samples: env_u64("QDP_BENCH_SAMPLES", 25).max(2) as usize,
             filter,
             results: Vec::new(),
+            json_path,
         }
     }
 
@@ -229,6 +244,49 @@ impl Harness {
     pub fn n_run(&self) -> usize {
         self.results.len()
     }
+
+    /// Serialise the results as a JSON array (seconds per iteration).
+    pub fn results_json(&self) -> String {
+        use qdp_telemetry::json::{escape, number};
+        let mut out = String::from("[");
+        for (i, (name, s)) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"min\":{},\"median\":{},\"mean\":{},\"sigma\":{}}}",
+                escape(name),
+                number(s.min),
+                number(s.median),
+                number(s.mean),
+                number(s.stddev),
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Write the machine-readable results file now (normally done on drop).
+    pub fn write_json(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = &self.json_path else {
+            return Ok(None);
+        };
+        if self.results.is_empty() {
+            return Ok(None);
+        }
+        std::fs::write(path, self.results_json())?;
+        Ok(Some(path.clone()))
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        match self.write_json() {
+            Ok(Some(path)) => println!("wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("qdp-bench: cannot write results JSON: {e}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +300,7 @@ mod tests {
             n_samples: 4,
             filter: None,
             results: Vec::new(),
+            json_path: None,
         }
     }
 
@@ -286,6 +345,42 @@ mod tests {
         h.bench_function("does_match_me_yes", |b| b.iter(|| 1 + 1));
         assert_eq!(h.n_run(), 1);
         assert_eq!(h.results[0].0, "does_match_me_yes");
+    }
+
+    #[test]
+    fn json_results_round_trip() {
+        let mut h = fast_harness();
+        h.bench_function("spin \"a\"", |b| b.iter(|| 1 + 1));
+        h.bench_function("other", |b| b.iter(|| 2 + 2));
+        let path = std::env::temp_dir().join(format!(
+            "qdp_bench_json_{}.json",
+            std::process::id()
+        ));
+        h.json_path = Some(path.clone());
+        let written = h.write_json().unwrap().expect("path set, results present");
+        assert_eq!(written, path);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = qdp_telemetry::json::parse(&text).unwrap();
+        let rows = v.as_array().expect("top-level array");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").and_then(|n| n.as_str()), Some("spin \"a\""));
+        for row in rows {
+            for key in ["min", "median", "mean", "sigma"] {
+                let val = row.get(key).and_then(|x| x.as_f64()).unwrap();
+                assert!(val >= 0.0, "{key} should be non-negative");
+            }
+        }
+        h.json_path = None; // keep Drop from re-writing
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_results_write_nothing() {
+        let mut h = fast_harness();
+        h.json_path = Some(std::env::temp_dir().join("qdp_bench_should_not_exist.json"));
+        assert!(h.write_json().unwrap().is_none());
+        h.json_path = None;
     }
 
     #[test]

@@ -114,6 +114,11 @@ impl MemoryCache {
     /// Register a new field of `bytes` zero-initialised bytes; returns its id.
     pub fn register(&self, bytes: usize) -> FieldId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tel = self.device.telemetry();
+        if tel.enabled() {
+            tel.count("cache.fields_registered", 1);
+            tel.count("cache.bytes_registered", bytes as u64);
+        }
         self.fields.lock().insert(
             id,
             Entry {
@@ -180,11 +185,20 @@ impl MemoryCache {
             }
             device.free(ptr);
             e.state = Residency::HostOnly;
+            let tel = device.telemetry();
             if spill {
                 stats.spills += 1;
                 stats.spill_bytes += e.host.len() as u64;
+                if tel.enabled() {
+                    tel.count("cache.spills", 1);
+                    tel.count("cache.spill_bytes", e.host.len() as u64);
+                }
             } else {
                 stats.page_outs += 1;
+                if tel.enabled() {
+                    tel.count("cache.page_outs", 1);
+                    tel.count("cache.page_out_bytes", e.host.len() as u64);
+                }
             }
         }
     }
@@ -212,6 +226,7 @@ impl MemoryCache {
                 e.last_touch = stamp;
                 if let Some(ptr) = e.device {
                     stats.hits += 1;
+                    self.device.telemetry().count("cache.hits", 1);
                     out.push(ptr);
                     continue;
                 }
@@ -249,6 +264,11 @@ impl MemoryCache {
             e.device = Some(ptr);
             e.state = Residency::Synced;
             stats.page_ins += 1;
+            let tel = self.device.telemetry();
+            if tel.enabled() {
+                tel.count("cache.page_ins", 1);
+                tel.count("cache.page_in_bytes", bytes as u64);
+            }
             out.push(ptr);
         }
         Ok(out)

@@ -12,6 +12,7 @@ use qdp_core::prelude::*;
 use qdp_core::expm;
 use qdp_core::reduce_inner_product;
 use qdp_rng::{Rng, StdRng};
+use std::sync::Arc;
 
 /// MD integrator scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -436,7 +437,16 @@ impl Hmc {
     ) -> Result<Multi1d<LatticeColorMatrix<f64>>, CoreError> {
         let mut total: Option<Multi1d<LatticeColorMatrix<f64>>> = None;
         for t in self.terms.iter_mut() {
-            let f = t.force(g)?;
+            let f = {
+                let device = g.context().device();
+                let tel = g.context().telemetry();
+                let span = tel
+                    .span("hmc", &format!("force:{}", t.name()))
+                    .with_sim(device.now());
+                let f = t.force(g)?;
+                span.end_with_sim(device.now());
+                f
+            };
             match &total {
                 None => total = Some(f),
                 Some(acc) => axpy_forces(acc, 1.0, &f)?,
@@ -463,19 +473,24 @@ impl Hmc {
         p: &Multi1d<LatticeColorMatrix<f64>>,
     ) -> Result<(), CoreError> {
         let dt = self.dt;
+        let device = Arc::clone(g.context().device());
+        let tel = Arc::clone(g.context().telemetry());
         match self.integrator {
             Integrator::Leapfrog => {
                 let f = self.total_force(g)?;
                 axpy_forces(p, 0.5 * dt, &f)?;
                 for step in 0..self.n_steps {
+                    let span = tel.span("hmc", "md_step").with_sim(device.now());
                     Self::update_links(g, p, dt)?;
                     let f = self.total_force(g)?;
                     let w = if step + 1 == self.n_steps { 0.5 * dt } else { dt };
                     axpy_forces(p, w, &f)?;
+                    span.end_with_sim(device.now());
                 }
             }
             Integrator::Omelyan { lambda } => {
                 for _ in 0..self.n_steps {
+                    let span = tel.span("hmc", "md_step").with_sim(device.now());
                     let f = self.total_force(g)?;
                     axpy_forces(p, lambda * dt, &f)?;
                     Self::update_links(g, p, 0.5 * dt)?;
@@ -484,6 +499,7 @@ impl Hmc {
                     Self::update_links(g, p, 0.5 * dt)?;
                     let f = self.total_force(g)?;
                     axpy_forces(p, lambda * dt, &f)?;
+                    span.end_with_sim(device.now());
                 }
             }
         }
@@ -496,6 +512,9 @@ impl Hmc {
         g: &GaugeField,
         rng: &mut StdRng,
     ) -> Result<HmcReport, CoreError> {
+        let device = Arc::clone(g.context().device());
+        let tel = Arc::clone(g.context().telemetry());
+        let traj_span = tel.span("hmc", "trajectory").with_sim(device.now());
         for t in self.terms.iter_mut() {
             t.refresh(g, rng)?;
         }
@@ -517,6 +536,7 @@ impl Hmc {
         } else {
             g.reunitarize();
         }
+        traj_span.end_with_sim(device.now());
         Ok(HmcReport {
             delta_h: dh,
             accepted: accept,

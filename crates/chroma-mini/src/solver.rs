@@ -28,6 +28,10 @@ pub fn cg_solve(
     max_iters: usize,
 ) -> Result<CgReport, CoreError> {
     let ctx = m.context();
+    let span = ctx
+        .telemetry()
+        .span("solver", "cg")
+        .with_sim(ctx.device().now());
     let r = LatticeFermion::<f64>::new(ctx);
     let p = LatticeFermion::<f64>::new(ctx);
     let ap = LatticeFermion::<f64>::new(ctx);
@@ -63,6 +67,8 @@ pub fn cg_solve(
         r2 = r2_new;
         iters += 1;
     }
+    ctx.telemetry().count("solver.cg_iters", iters as u64);
+    span.end_with_sim(ctx.device().now());
     Ok(CgReport {
         iters,
         rel_resid: (r2 / b2).sqrt(),
@@ -79,6 +85,10 @@ pub fn bicgstab_solve(
     max_iters: usize,
 ) -> Result<CgReport, CoreError> {
     let ctx = m.context();
+    let span = ctx
+        .telemetry()
+        .span("solver", "bicgstab")
+        .with_sim(ctx.device().now());
     let r = LatticeFermion::<f64>::new(ctx);
     let r0 = LatticeFermion::<f64>::new(ctx);
     let p = LatticeFermion::<f64>::new(ctx);
@@ -122,6 +132,8 @@ pub fn bicgstab_solve(
         r2 = r.norm2()?;
         iters += 1;
     }
+    ctx.telemetry().count("solver.bicgstab_iters", iters as u64);
+    span.end_with_sim(ctx.device().now());
     Ok(CgReport {
         iters,
         rel_resid: (r2 / b2).sqrt(),
@@ -143,6 +155,10 @@ pub fn multishift_cg(
     assert_eq!(shifts.len(), xs.len());
     assert!(!shifts.is_empty());
     let ctx = m.context();
+    let span = ctx
+        .telemetry()
+        .span("solver", "multishift_cg")
+        .with_sim(ctx.device().now());
     let n = shifts.len();
 
     // Shift everything relative to the smallest shift for stability.
@@ -240,6 +256,8 @@ pub fn multishift_cg(
         r2 = r2_new;
         iters += 1;
     }
+    ctx.telemetry().count("solver.multishift_iters", iters as u64);
+    span.end_with_sim(ctx.device().now());
     Ok(CgReport {
         iters,
         rel_resid: (r2 / b2).sqrt(),

@@ -1,6 +1,7 @@
 //! The virtual cluster: rank threads, timed point-to-point messages,
 //! barriers and reductions.
 
+use qdp_telemetry::{Telemetry, Track};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -66,13 +67,26 @@ pub struct RankHandle {
     pub link: LinkModel,
     mesh: Arc<Mesh>,
     barrier: Arc<std::sync::Barrier>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RankHandle {
+    /// Attach a telemetry registry: send/recv/allreduce latencies and byte
+    /// counts are recorded into it (on the `Track::Comm` timeline when
+    /// tracing). `MultiRank` calls this with the context's registry.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn tel(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref().filter(|t| t.enabled())
+    }
+
     /// Send `data` to `to`, stamped with the sender's simulated time.
     /// Returns the sender-side completion time (clock + send overhead).
     pub fn send(&self, to: usize, data: Vec<u8>, now: f64) -> f64 {
         assert_ne!(to, self.rank, "self-send");
+        let bytes = data.len();
         self.mesh[self.rank][to]
             .0
             .send(Message {
@@ -80,6 +94,18 @@ impl RankHandle {
                 sent_at: now,
             })
             .expect("peer rank hung up");
+        if let Some(t) = self.tel() {
+            t.count("comm.sends", 1);
+            t.count("comm.send_bytes", bytes as u64);
+            t.record_sim_event(
+                Track::Comm,
+                "comm",
+                "send",
+                now,
+                self.link.send_overhead,
+                &[("bytes", bytes as f64), ("to", to as f64)],
+            );
+        }
         now + self.link.send_overhead
     }
 
@@ -93,7 +119,22 @@ impl RankHandle {
             .recv()
             .expect("peer rank hung up");
         let arrival = msg.sent_at + self.link.transfer_time(msg.data.len());
-        (msg.data, arrival.max(now))
+        let arrival = arrival.max(now);
+        if let Some(t) = self.tel() {
+            t.count("comm.recvs", 1);
+            t.count("comm.recv_bytes", msg.data.len() as u64);
+            // wait window: receiver's clock to modelled arrival
+            t.observe("comm.recv_wait_s", arrival - now);
+            t.record_sim_event(
+                Track::Comm,
+                "comm",
+                "recv",
+                now,
+                arrival - now,
+                &[("bytes", msg.data.len() as f64), ("from", from as f64)],
+            );
+        }
+        (msg.data, arrival)
     }
 
     /// Barrier across all ranks (host-thread synchronisation only; the
@@ -112,6 +153,7 @@ impl RankHandle {
         if n == 1 {
             return (acc, t);
         }
+        let t_entry = now;
         let rounds = (n as f64).log2().ceil() as u32;
         let mut stride = 1usize;
         for _ in 0..rounds {
@@ -127,6 +169,10 @@ impl RankHandle {
                 }
             }
             stride <<= 1;
+        }
+        if let Some(tel) = self.tel() {
+            tel.count("comm.allreduces", 1);
+            tel.observe("comm.allreduce_s", t - t_entry);
         }
         (acc, t)
     }
@@ -166,6 +212,7 @@ pub fn run_cluster<R: Send>(
                         link,
                         mesh,
                         barrier,
+                        telemetry: None,
                     })
                 })
             })

@@ -8,6 +8,7 @@ use qdp_expr::ShiftDir;
 use qdp_gpu_sim::{Device, DeviceConfig, DevicePtr};
 use qdp_jit::{AutoTuner, KernelCache};
 use qdp_layout::{Dir, Geometry, LayoutKind, Subset};
+use qdp_telemetry::{ProfileReport, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -27,13 +28,26 @@ pub struct QdpContext {
 }
 
 impl QdpContext {
-    /// Bring up a context on a fresh simulated device.
+    /// Bring up a context on a fresh simulated device. Telemetry is
+    /// configured from the environment (`QDP_PROFILE` / `QDP_TRACE`); use
+    /// [`QdpContext::with_telemetry`] to inject a registry (e.g. in tests).
     pub fn new(cfg: DeviceConfig, geom: Geometry, layout: LayoutKind) -> Arc<QdpContext> {
-        let device = Arc::new(Device::new(cfg));
+        QdpContext::with_telemetry(cfg, geom, layout, Arc::new(Telemetry::from_env()))
+    }
+
+    /// Bring up a context whose whole stack (device, software cache, JIT
+    /// cache, launcher) records into `telemetry`.
+    pub fn with_telemetry(
+        cfg: DeviceConfig,
+        geom: Geometry,
+        layout: LayoutKind,
+        telemetry: Arc<Telemetry>,
+    ) -> Arc<QdpContext> {
+        let device = Arc::new(Device::with_telemetry(cfg, Arc::clone(&telemetry)));
         let max_block = device.config().max_threads_per_block;
         Arc::new(QdpContext {
             cache: MemoryCache::new(Arc::clone(&device)),
-            kernels: KernelCache::new(),
+            kernels: KernelCache::with_telemetry(telemetry),
             tuner: AutoTuner::new(max_block),
             device,
             geom,
@@ -43,6 +57,17 @@ impl QdpContext {
             ptx_texts: Mutex::new(HashMap::new()),
             execute_payload: AtomicBool::new(true),
         })
+    }
+
+    /// The telemetry registry shared by every layer of this context.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.device.telemetry()
+    }
+
+    /// Snapshot of everything telemetry has recorded so far (per-kernel
+    /// profiles, counters, histograms, span aggregates).
+    pub fn profile_report(&self) -> ProfileReport {
+        self.telemetry().profile_report()
     }
 
     /// Context with the paper's benchmark device (K20x, ECC off) and the
@@ -131,13 +156,32 @@ impl QdpContext {
             self.geom.neighbor_table_local(mu, d)
         };
         let bytes: Vec<u8> = tbl.iter().flat_map(|e| e.0.to_le_bytes()).collect();
-        let ptr = self
-            .device
-            .alloc(bytes.len())
-            .expect("device memory exhausted while pinning neighbour table");
+        let ptr = self.alloc_table(&format!("neighbour table (mu={mu}, {dir:?}, remote={remote})"), bytes.len());
         self.device.h2d(ptr, &bytes);
         map.insert((mu, dir, remote), ptr);
         ptr
+    }
+
+    /// Allocate a pinned device-resident table, recording it in the
+    /// telemetry allocator counters. Panics with a diagnostic (requested
+    /// bytes, device usage, table key) on device OOM — tables are pinned
+    /// infrastructure, not spillable fields, so OOM here is fatal.
+    fn alloc_table(&self, key: &str, bytes: usize) -> DevicePtr {
+        let tel = self.telemetry();
+        if tel.enabled() {
+            tel.count("table.allocs", 1);
+            tel.count("table.bytes", bytes as u64);
+        }
+        match self.device.alloc(bytes) {
+            Ok(p) => p,
+            Err(e) => panic!(
+                "device memory exhausted while pinning {key}: requested {bytes} bytes, \
+                 device using {} of {} bytes ({} free): {e}",
+                self.device.memory().used(),
+                self.device.config().memory_bytes,
+                self.device.memory().free(),
+            ),
+        }
     }
 
     /// Device pointer and length of a subset's site list. `All` needs no
@@ -152,10 +196,7 @@ impl QdpContext {
         }
         let sites = subset.sites(&self.geom);
         let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
-        let ptr = self
-            .device
-            .alloc(bytes.len())
-            .expect("device memory exhausted while pinning subset table");
+        let ptr = self.alloc_table(&format!("subset table ({subset:?})"), bytes.len());
         self.device.h2d(ptr, &bytes);
         map.insert(subset, (ptr, sites.len()));
         (Some(ptr), sites.len())

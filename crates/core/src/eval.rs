@@ -192,6 +192,8 @@ pub fn eval_impl(
                 .into(),
         ));
     }
+    let tel = ctx.telemetry();
+    let span = tel.span("eval", "eval_expr").with_sim(ctx.device().now());
     let mut flags = Vec::new();
     scalar_flags(expr, &mut flags);
     let dims = ctx.geometry().dims();
@@ -227,6 +229,7 @@ pub fn eval_impl(
     let name = format!("qdp_{:016x}", h.finish());
 
     let ptx = ctx.ptx_for_key(&key, || {
+        let _cg = tel.span("eval", "codegen");
         let mut g = PtxGen::new(&name, &env, &leaves);
         let mut cx = GenCtx::new(&leaves);
         let v = gen_expr(expr, &mut g, &mut cx);
@@ -310,6 +313,7 @@ pub fn eval_impl(
         ctx.payload_execution(),
     )?;
     ctx.cache().mark_device_dirty(target.id)?;
+    span.end_with_sim(ctx.device().now());
 
     Ok(EvalReport {
         kernel_name: kernel.name.clone(),

@@ -59,15 +59,17 @@ pub struct MultiRank {
 }
 
 impl MultiRank {
-    /// Wrap a context + handle into a rank.
+    /// Wrap a context + handle into a rank. The handle records comm
+    /// traffic into the context's telemetry registry.
     pub fn new(
         ctx: Arc<QdpContext>,
         decomp: Decomposition,
-        handle: RankHandle,
+        mut handle: RankHandle,
         cuda_aware: bool,
         overlap: bool,
     ) -> MultiRank {
         let rank = handle.rank;
+        handle.set_telemetry(Arc::clone(ctx.telemetry()));
         MultiRank {
             ctx,
             decomp,
@@ -334,7 +336,12 @@ impl MultiRank {
         };
 
         if self.overlap {
-            // inner kernel while data is in flight
+            // inner kernel while data is in flight — the §V overlap window
+            let overlap_span = self
+                .ctx
+                .telemetry()
+                .span("comm", "overlap_window")
+                .with_sim(device.now());
             let key_inner = format!("inner{:?}", faces_for_inner);
             let inner_sites = geom.inner_sites(&faces_for_inner);
             let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites);
@@ -346,6 +353,7 @@ impl MultiRank {
                 Some(&remote),
             )?;
             receive_all(&|| device.now())?;
+            overlap_span.end_with_sim(device.now());
             // face kernel after arrival
             let key_face = format!("face{:?}", faces_for_inner);
             let face_sites = geom.face_union(&faces_for_inner);

@@ -5,6 +5,8 @@ use crate::memory::{DeviceMemory, DevicePtr};
 use crate::perf::{launch_timing, KernelShape, LaunchError, LaunchTiming};
 use crate::DeviceError;
 use crate::sync::Mutex;
+use qdp_telemetry::{Telemetry, Track};
+use std::sync::Arc;
 
 /// Cumulative device statistics (reported by benchmark harnesses and the
 /// cache ablation).
@@ -32,18 +34,32 @@ pub struct Device {
     mem: DeviceMemory,
     clock: Mutex<f64>,
     stats: Mutex<DeviceStats>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Device {
-    /// Bring up a device with the given configuration.
+    /// Bring up a device with the given configuration; telemetry is taken
+    /// from the environment (`QDP_PROFILE` / `QDP_TRACE`).
     pub fn new(cfg: DeviceConfig) -> Device {
+        Device::with_telemetry(cfg, Arc::new(Telemetry::from_env()))
+    }
+
+    /// Bring up a device recording into an existing telemetry registry
+    /// (used by `QdpContext` so the whole stack shares one registry).
+    pub fn with_telemetry(cfg: DeviceConfig, telemetry: Arc<Telemetry>) -> Device {
         let mem = DeviceMemory::new(cfg.memory_bytes);
         Device {
             cfg,
             mem,
             clock: Mutex::new(0.0),
             stats: Mutex::new(DeviceStats::default()),
+            telemetry,
         }
+    }
+
+    /// The telemetry registry this device records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Device configuration.
@@ -107,7 +123,20 @@ impl Device {
             s.h2d_bytes += src.len() as u64;
             s.transfer_time += dt;
         }
-        self.advance_clock(dt)
+        let after = self.advance_clock(dt);
+        if self.telemetry.enabled() {
+            self.telemetry.count("device.h2d_copies", 1);
+            self.telemetry.count("device.h2d_bytes", src.len() as u64);
+            self.telemetry.record_sim_event(
+                Track::Device,
+                "xfer",
+                "h2d",
+                after - dt,
+                dt,
+                &[("bytes", src.len() as f64)],
+            );
+        }
+        after
     }
 
     /// Copy device → host, advancing the clock by the PCIe model.
@@ -120,7 +149,20 @@ impl Device {
             s.d2h_bytes += dst.len() as u64;
             s.transfer_time += dt;
         }
-        self.advance_clock(dt)
+        let after = self.advance_clock(dt);
+        if self.telemetry.enabled() {
+            self.telemetry.count("device.d2h_copies", 1);
+            self.telemetry.count("device.d2h_bytes", dst.len() as u64);
+            self.telemetry.record_sim_event(
+                Track::Device,
+                "xfer",
+                "d2h",
+                after - dt,
+                dt,
+                &[("bytes", dst.len() as f64)],
+            );
+        }
+        after
     }
 
     /// Account a kernel launch: computes the simulated execution time for

@@ -7,6 +7,7 @@
 
 use crate::lower::{compile_ptx, CompiledKernel, JitError};
 use qdp_gpu_sim::sync::Mutex;
+use qdp_telemetry::Telemetry;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -20,6 +21,9 @@ pub struct KernelCacheStats {
     pub hits: u64,
     /// Number of misses (fresh JIT translations).
     pub misses: u64,
+    /// Number of failed translations (bad PTX, lowering error). Failures
+    /// are never cached, so each failing text counts on every attempt.
+    pub compile_errors: u64,
     /// Wall-clock seconds spent in translation (parse + lower).
     pub wall_compile_time: f64,
     /// *Modelled* translation seconds — the paper's 0.05–0.22 s per kernel
@@ -40,6 +44,7 @@ pub fn modeled_compile_time(n_instructions: usize) -> f64 {
 #[derive(Default)]
 pub struct KernelCache {
     inner: Mutex<Inner>,
+    telemetry: Arc<Telemetry>,
 }
 
 #[derive(Default)]
@@ -49,9 +54,17 @@ struct Inner {
 }
 
 impl KernelCache {
-    /// Create an empty cache.
+    /// Create an empty cache (with a disabled telemetry registry).
     pub fn new() -> KernelCache {
         KernelCache::default()
+    }
+
+    /// Create an empty cache recording hits/misses/errors into `telemetry`.
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> KernelCache {
+        KernelCache {
+            inner: Mutex::new(Inner::default()),
+            telemetry,
+        }
     }
 
     /// Translate (or fetch) the single kernel in `ptx_text`.
@@ -66,22 +79,37 @@ impl KernelCache {
         let mut inner = self.inner.lock();
         if let Some(k) = inner.map.get(&key).cloned() {
             inner.stats.hits += 1;
+            drop(inner);
+            self.telemetry.record_compile(&k.name, true, 0.0, 0.0);
             return Ok(k);
         }
         let t0 = Instant::now();
-        let mut kernels = compile_ptx(ptx_text)?;
+        let mut kernels = match compile_ptx(ptx_text) {
+            Ok(k) => k,
+            Err(e) => {
+                inner.stats.compile_errors += 1;
+                self.telemetry.record_compile_error();
+                return Err(e);
+            }
+        };
         let wall = t0.elapsed().as_secs_f64();
         if kernels.len() != 1 {
+            inner.stats.compile_errors += 1;
+            self.telemetry.record_compile_error();
             return Err(JitError::Lower(format!(
                 "expected exactly one kernel per module, got {}",
                 kernels.len()
             )));
         }
         let kernel = Arc::new(kernels.remove(0));
+        let modeled = modeled_compile_time(kernel.code.len());
         inner.stats.misses += 1;
         inner.stats.wall_compile_time += wall;
-        inner.stats.modeled_compile_time += modeled_compile_time(kernel.code.len());
+        inner.stats.modeled_compile_time += modeled;
         inner.map.insert(key, Arc::clone(&kernel));
+        drop(inner);
+        self.telemetry
+            .record_compile(&kernel.name, false, wall, modeled);
         Ok(kernel)
     }
 
@@ -151,5 +179,40 @@ mod tests {
         let cache = KernelCache::new();
         assert!(cache.get_or_compile("nonsense").is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn compile_errors_are_counted() {
+        let tel = Arc::new(Telemetry::new());
+        tel.enable();
+        let cache = KernelCache::with_telemetry(Arc::clone(&tel));
+        assert!(cache.get_or_compile("not ptx at all").is_err());
+        assert!(cache.get_or_compile("also not ptx").is_err());
+        // good kernel afterwards still works and is not an error
+        cache.get_or_compile(&tiny_ptx("ok")).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.compile_errors, 2);
+        assert_eq!(s.misses, 1);
+        let report = tel.profile_report();
+        assert_eq!(report.counter("jit.compile_errors"), 2);
+        assert_eq!(report.jit.compile_errors, 2);
+        assert_eq!(report.jit.misses, 1);
+    }
+
+    #[test]
+    fn hits_and_misses_reach_telemetry() {
+        let tel = Arc::new(Telemetry::new());
+        tel.enable();
+        let cache = KernelCache::with_telemetry(Arc::clone(&tel));
+        let text = tiny_ptx("k_tel");
+        let k = cache.get_or_compile(&text).unwrap();
+        cache.get_or_compile(&text).unwrap();
+        cache.get_or_compile(&text).unwrap();
+        let report = tel.profile_report();
+        let row = report.kernel(&k.name).expect("kernel row");
+        assert_eq!(row.jit_misses, 1);
+        assert_eq!(row.jit_hits, 2);
+        assert!(row.modeled_compile_time >= 0.05);
+        assert!((report.jit.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
 }

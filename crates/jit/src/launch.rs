@@ -46,9 +46,11 @@ pub fn launch_tuned(
     execute: bool,
 ) -> Result<LaunchOutcome, LaunchError> {
     let shape = kernel_shape(kernel, threads, site_stride);
+    let telemetry = device.telemetry();
     let mut failed = 0u32;
     loop {
         let block = tuner.block_for(&kernel.name);
+        let trial = !tuner.is_settled(&kernel.name);
         match device.account_launch(&shape, block) {
             Ok(timing) => {
                 if execute {
@@ -56,6 +58,18 @@ pub fn launch_tuned(
                     run_grid(kernel, args, device.memory(), n_blocks, block);
                 }
                 tuner.report(&kernel.name, block, timing.time);
+                if telemetry.enabled() {
+                    telemetry.record_launch(
+                        &kernel.name,
+                        block,
+                        trial,
+                        tuner.is_settled(&kernel.name),
+                        device.now() - timing.time,
+                        timing.time,
+                        shape.total_bytes() as u64,
+                        shape.total_flops() as u64,
+                    );
+                }
                 return Ok(LaunchOutcome {
                     block_size: block,
                     timing,
@@ -67,6 +81,7 @@ pub fn launch_tuned(
             }
             Err(e @ LaunchError::OutOfRegisters { .. }) => {
                 failed += 1;
+                telemetry.record_launch_failure(&kernel.name, block);
                 if tuner.launch_failed(&kernel.name).is_none() {
                     return Err(e);
                 }

@@ -1,0 +1,74 @@
+//! CI validator for Chrome trace files emitted via `QDP_TRACE`.
+//!
+//! Usage: `trace_check <trace.json> [--min-kernel-events N]`
+//!
+//! Exits non-zero if the file is missing, is not valid JSON, has no
+//! `traceEvents` array, or contains fewer than N (default 1) kernel-launch
+//! events (`cat == "kernel"`, `ph == "X"`).
+
+use qdp_telemetry::json;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .ok_or("usage: trace_check <trace.json> [--min-kernel-events N]")?;
+    let mut min_kernel_events = 1usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--min-kernel-events" => {
+                let n = args
+                    .next()
+                    .ok_or("--min-kernel-events needs a value")?;
+                min_kernel_events = n
+                    .parse()
+                    .map_err(|_| format!("bad --min-kernel-events value '{n}'"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path} has no traceEvents array"))?;
+
+    let mut kernel_events = 0usize;
+    let mut span_events = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str());
+        if ph != Some("X") {
+            continue;
+        }
+        match ev.get("cat").and_then(|c| c.as_str()) {
+            Some("kernel") => kernel_events += 1,
+            Some(_) => span_events += 1,
+            None => {}
+        }
+    }
+
+    if kernel_events < min_kernel_events {
+        return Err(format!(
+            "{path}: expected at least {min_kernel_events} kernel-launch event(s), found {kernel_events}"
+        ));
+    }
+    println!(
+        "trace_check: {path} OK ({} events, {kernel_events} kernel launches, {span_events} other spans)",
+        events.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! # qdp-telemetry — unified runtime telemetry
+//!
+//! Every quantitative claim in the paper (§VII–§VIII) — per-kernel
+//! sustained bandwidth, JIT translation overhead, software-cache spill
+//! traffic, communication/computation overlap — comes from *profiling* the
+//! runtime. This crate is the instrumentation layer the rest of the
+//! workspace records into:
+//!
+//! * **counters / gauges / histograms** behind an env-gated registry —
+//!   `QDP_PROFILE=1` turns profiling on; when off, every recording call is
+//!   one relaxed atomic load and an early return;
+//! * **span tracing** that captures *both* clocks: host wall time (the real
+//!   cost of running the framework) and the simulated device clock (the
+//!   modelled GPU cost the paper's figures are drawn in);
+//! * two exporters: a human-readable end-of-run [`ProfileReport`]
+//!   (per-kernel launches / trial launches / tuned block size / simulated
+//!   time / bytes / achieved bandwidth, plus the JIT-cache hit ratio and
+//!   every counter and histogram), and a **Chrome trace-event JSON** file
+//!   (`QDP_TRACE=out.json`, loadable in Perfetto or `chrome://tracing`)
+//!   where host spans, device kernel launches, PCIe transfers and MPI
+//!   traffic render as parallel timelines.
+//!
+//! The registry is deliberately free of dependencies: it sits at the bottom
+//! of the workspace graph so `qdp-gpu-sim`, `qdp-jit`, `qdp-cache`,
+//! `qdp-comm`, `qdp-core` and `chroma-mini` can all record into the same
+//! instance (shared through `QdpContext` / `Device`).
+
+pub mod json;
+pub mod report;
+pub mod sync;
+pub mod trace;
+
+pub use report::{HistSnapshot, JitSummary, KernelRow, ProfileReport, SpanRow};
+pub use trace::TraceEvent;
+
+use crate::sync::Mutex;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Trace process (timeline) an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Host threads, wall clock.
+    Host,
+    /// The simulated device, simulated clock.
+    Device,
+    /// The simulated interconnect, simulated clock.
+    Comm,
+}
+
+/// Upper bound on buffered trace events (a 12-hour HMC run must not OOM the
+/// recorder; overflow is counted and reported, not silently ignored).
+pub const MAX_TRACE_EVENTS: usize = 2_000_000;
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+/// Streaming histogram: count / sum / min / max (enough for latency and
+/// byte-size distributions without bucket configuration).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+    fn new() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Aggregated per-kernel profile (filled by the JIT launcher and the kernel
+/// cache).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct KernelProfile {
+    launches: u64,
+    trial_launches: u64,
+    launch_failures: u64,
+    block_size: u32,
+    settled: bool,
+    sim_time: f64,
+    bytes: u64,
+    flops: u64,
+    jit_hits: u64,
+    jit_misses: u64,
+    wall_compile_time: f64,
+    modeled_compile_time: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanStat {
+    count: u64,
+    wall: f64,
+    sim: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Hist>,
+    kernels: BTreeMap<String, KernelProfile>,
+    spans: BTreeMap<String, SpanStat>,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+}
+
+/// The telemetry registry. One instance is shared by a `QdpContext` and
+/// everything beneath it (device, software cache, kernel cache, tuner);
+/// standalone devices create their own from the environment.
+pub struct Telemetry {
+    profile: AtomicBool,
+    tracing: AtomicBool,
+    trace_written: AtomicBool,
+    epoch: Instant,
+    trace_path: Mutex<Option<PathBuf>>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A disabled registry (every recording call is a no-op).
+    pub fn new() -> Telemetry {
+        Telemetry {
+            profile: AtomicBool::new(false),
+            tracing: AtomicBool::new(false),
+            trace_written: AtomicBool::new(false),
+            epoch: Instant::now(),
+            trace_path: Mutex::new(None),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Registry configured from the environment: `QDP_PROFILE=1` enables
+    /// profiling, `QDP_TRACE=<path>` enables trace recording (written to
+    /// `<path>` on [`Telemetry::flush_trace`] or drop).
+    pub fn from_env() -> Telemetry {
+        let t = Telemetry::new();
+        if matches!(
+            std::env::var("QDP_PROFILE").as_deref(),
+            Ok("1") | Ok("true") | Ok("yes") | Ok("on")
+        ) {
+            t.enable();
+        }
+        if let Ok(path) = std::env::var("QDP_TRACE") {
+            if !path.is_empty() {
+                t.enable_trace(path);
+            }
+        }
+        t
+    }
+
+    /// Turn profiling (counters, histograms, span aggregation, per-kernel
+    /// profiles) on. Used by tests to observe behaviour without touching
+    /// process environment.
+    pub fn enable(&self) {
+        self.profile.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn trace-event recording on; [`Telemetry::flush_trace`] (or drop)
+    /// writes the Chrome trace to `path`.
+    pub fn enable_trace(&self, path: impl Into<PathBuf>) {
+        *self.trace_path.lock() = Some(path.into());
+        self.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Is any recording active?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.profile.load(Ordering::Relaxed) || self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Is profiling active?
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.profile.load(Ordering::Relaxed)
+    }
+
+    /// Is trace recording active?
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// The configured trace output path, if any.
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        self.trace_path.lock().clone()
+    }
+
+    /// Microseconds of wall time since this registry was created.
+    pub fn wall_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    // --- counters / gauges / histograms -----------------------------------
+
+    /// Add `n` to counter `name`.
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Set gauge `name` to `v` (last-write-wins).
+    #[inline]
+    pub fn gauge(&self, name: &str, v: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Record one observation of `v` in histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, v: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner
+            .lock()
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(Hist::new)
+            .observe(v);
+    }
+
+    // --- JIT / launch recording -------------------------------------------
+
+    /// Record a kernel-cache lookup outcome for `kernel`: a hit, or a miss
+    /// with its wall and modelled translation times.
+    pub fn record_compile(&self, kernel: &str, hit: bool, wall: f64, modeled: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let record_event = self.is_tracing() && !hit;
+        let wall_end_us = self.wall_us();
+        let mut inner = self.inner.lock();
+        let k = inner.kernels.entry(kernel.to_string()).or_default();
+        if hit {
+            k.jit_hits += 1;
+        } else {
+            k.jit_misses += 1;
+            k.wall_compile_time += wall;
+            k.modeled_compile_time += modeled;
+        }
+        if record_event {
+            Self::push_event(
+                &mut inner,
+                TraceEvent {
+                    name: format!("jit-compile {kernel}"),
+                    cat: "jit",
+                    track: Track::Host,
+                    tid: current_tid(),
+                    ts_us: (wall_end_us - wall * 1e6).max(0.0),
+                    dur_us: wall * 1e6,
+                    args: vec![("modeled_s", modeled)],
+                },
+            );
+        }
+    }
+
+    /// Record a failed JIT translation (bad PTX, lowering error).
+    pub fn record_compile_error(&self) {
+        self.count("jit.compile_errors", 1);
+    }
+
+    /// Record one successful kernel launch. `trial` marks launches made
+    /// while the auto-tuner was still probing; `settled` is the tuner state
+    /// after this launch; `sim_t0`/`sim_dur` are simulated-clock seconds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_launch(
+        &self,
+        kernel: &str,
+        block: u32,
+        trial: bool,
+        settled: bool,
+        sim_t0: f64,
+        sim_dur: f64,
+        bytes: u64,
+        flops: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let tracing = self.is_tracing();
+        let mut inner = self.inner.lock();
+        let k = inner.kernels.entry(kernel.to_string()).or_default();
+        k.launches += 1;
+        if trial {
+            k.trial_launches += 1;
+        }
+        k.block_size = block;
+        k.settled = settled;
+        k.sim_time += sim_dur;
+        k.bytes += bytes;
+        k.flops += flops;
+        if tracing {
+            Self::push_event(
+                &mut inner,
+                TraceEvent {
+                    name: kernel.to_string(),
+                    cat: "kernel",
+                    track: Track::Device,
+                    tid: 0,
+                    ts_us: sim_t0 * 1e6,
+                    dur_us: sim_dur * 1e6,
+                    args: vec![
+                        ("block", block as f64),
+                        ("bytes", bytes as f64),
+                        ("gb_per_s", if sim_dur > 0.0 { bytes as f64 / sim_dur / 1e9 } else { 0.0 }),
+                    ],
+                },
+            );
+        }
+    }
+
+    /// Record a failed launch attempt (resource exhaustion at `block`).
+    pub fn record_launch_failure(&self, kernel: &str, block: u32) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner
+            .kernels
+            .entry(kernel.to_string())
+            .or_default()
+            .launch_failures += 1;
+        *inner
+            .counters
+            .entry("jit.launch_failures".to_string())
+            .or_insert(0) += 1;
+        let _ = block;
+    }
+
+    /// Record an event on a simulated-clock timeline (`Track::Device` for
+    /// PCIe transfers, `Track::Comm` for MPI traffic). Times in simulated
+    /// seconds.
+    pub fn record_sim_event(
+        &self,
+        track: Track,
+        cat: &'static str,
+        name: &str,
+        sim_t0: f64,
+        sim_dur: f64,
+        args: &[(&'static str, f64)],
+    ) {
+        if !self.is_tracing() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        Self::push_event(
+            &mut inner,
+            TraceEvent {
+                name: name.to_string(),
+                cat,
+                track,
+                tid: 0,
+                ts_us: sim_t0 * 1e6,
+                dur_us: sim_dur * 1e6,
+                args: args.to_vec(),
+            },
+        );
+    }
+
+    fn push_event(inner: &mut Inner, ev: TraceEvent) {
+        if inner.events.len() >= MAX_TRACE_EVENTS {
+            inner.dropped_events += 1;
+            return;
+        }
+        inner.events.push(ev);
+    }
+
+    // --- spans -------------------------------------------------------------
+
+    /// Open a span named `cat/name` on the host (wall-clock) timeline. The
+    /// guard records on drop; call [`Span::end_with_sim`] to also attribute
+    /// simulated-clock time (pair with [`Span::with_sim`] at the start).
+    pub fn span(&self, cat: &'static str, name: &str) -> Span<'_> {
+        if !self.enabled() {
+            return Span { active: None };
+        }
+        Span {
+            active: Some(SpanActive {
+                tel: self,
+                cat,
+                name: name.to_string(),
+                ts_us: self.wall_us(),
+                t0: Instant::now(),
+                sim_start: None,
+                sim_end: None,
+            }),
+        }
+    }
+
+    fn record_span(
+        &self,
+        cat: &'static str,
+        name: &str,
+        ts_us: f64,
+        wall: f64,
+        sim: Option<(f64, f64)>,
+    ) {
+        let tracing = self.is_tracing();
+        let mut inner = self.inner.lock();
+        let st = inner
+            .spans
+            .entry(format!("{cat}/{name}"))
+            .or_default();
+        st.count += 1;
+        st.wall += wall;
+        if let Some((s0, s1)) = sim {
+            st.sim += (s1 - s0).max(0.0);
+        }
+        if tracing {
+            let mut args: Vec<(&'static str, f64)> = Vec::new();
+            if let Some((s0, s1)) = sim {
+                args.push(("sim_t0_us", s0 * 1e6));
+                args.push(("sim_dur_us", (s1 - s0).max(0.0) * 1e6));
+            }
+            Self::push_event(
+                &mut inner,
+                TraceEvent {
+                    name: name.to_string(),
+                    cat,
+                    track: Track::Host,
+                    tid: current_tid(),
+                    ts_us,
+                    dur_us: wall * 1e6,
+                    args,
+                },
+            );
+        }
+    }
+
+    // --- export ------------------------------------------------------------
+
+    /// Snapshot everything recorded so far as a structured report.
+    pub fn profile_report(&self) -> ProfileReport {
+        let inner = self.inner.lock();
+        report::build(&inner)
+    }
+
+    /// Write the recorded events as Chrome trace-event JSON to `path`.
+    pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
+        let inner = self.inner.lock();
+        trace::write_chrome_trace(path, &inner.events, inner.dropped_events)
+    }
+
+    /// Write the Chrome trace to the configured `QDP_TRACE` path, once.
+    /// Returns the path if a write happened.
+    pub fn flush_trace(&self) -> Option<PathBuf> {
+        let path = self.trace_path()?;
+        if self.trace_written.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        match self.write_chrome_trace(&path) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("qdp-telemetry: cannot write trace to {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.flush_trace();
+    }
+}
+
+/// RAII span guard returned by [`Telemetry::span`]. A disabled registry
+/// hands out inert guards, so instrumented code pays nothing when off.
+pub struct Span<'t> {
+    active: Option<SpanActive<'t>>,
+}
+
+struct SpanActive<'t> {
+    tel: &'t Telemetry,
+    cat: &'static str,
+    name: String,
+    ts_us: f64,
+    t0: Instant,
+    sim_start: Option<f64>,
+    sim_end: Option<f64>,
+}
+
+impl<'t> Span<'t> {
+    /// Attach the simulated clock at span start (typically `device.now()`).
+    pub fn with_sim(mut self, sim_now: f64) -> Span<'t> {
+        if let Some(a) = self.active.as_mut() {
+            a.sim_start = Some(sim_now);
+        }
+        self
+    }
+
+    /// Close the span, attributing simulated time up to `sim_now`.
+    pub fn end_with_sim(mut self, sim_now: f64) {
+        if let Some(a) = self.active.as_mut() {
+            a.sim_end = Some(sim_now);
+        }
+        // drop records
+    }
+
+    /// Does this guard record anything on drop?
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let wall = a.t0.elapsed().as_secs_f64();
+            let sim = match (a.sim_start, a.sim_end) {
+                (Some(s0), Some(s1)) => Some((s0, s1)),
+                _ => None,
+            };
+            a.tel.record_span(a.cat, &a.name, a.ts_us, wall, sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::new();
+        assert!(!t.enabled());
+        t.count("x", 5);
+        t.observe("h", 1.0);
+        t.record_launch("k", 128, false, true, 0.0, 1e-3, 100, 10);
+        {
+            let _s = t.span("cat", "name");
+        }
+        let r = t.profile_report();
+        assert!(r.counters.is_empty());
+        assert!(r.kernels.is_empty());
+        assert!(r.spans.is_empty());
+        assert_eq!(r.trace_events, 0);
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let t = Telemetry::new();
+        t.enable();
+        t.count("c", 2);
+        t.count("c", 3);
+        t.gauge("g", 7.5);
+        t.observe("h", 1.0);
+        t.observe("h", 3.0);
+        let r = t.profile_report();
+        assert_eq!(r.counter("c"), 5);
+        assert_eq!(r.gauges["g"], 7.5);
+        let h = &r.hists["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn kernel_profile_aggregates_launches_and_compiles() {
+        let t = Telemetry::new();
+        t.enable();
+        t.record_compile("k1", false, 1e-4, 0.05);
+        t.record_compile("k1", true, 0.0, 0.0);
+        t.record_compile("k1", true, 0.0, 0.0);
+        t.record_launch("k1", 1024, true, false, 0.0, 1e-3, 1000, 500);
+        t.record_launch("k1", 512, true, true, 1e-3, 0.5e-3, 1000, 500);
+        t.record_launch("k1", 512, false, true, 1.5e-3, 0.5e-3, 1000, 500);
+        t.record_launch_failure("k1", 1024);
+        let r = t.profile_report();
+        let k = r.kernel("k1").expect("kernel row");
+        assert_eq!(k.launches, 3);
+        assert_eq!(k.trial_launches, 2);
+        assert_eq!(k.launch_failures, 1);
+        assert_eq!(k.block_size, 512);
+        assert!(k.settled);
+        assert!((k.sim_time - 2e-3).abs() < 1e-12);
+        assert_eq!(k.bytes, 3000);
+        assert!((k.bandwidth - 3000.0 / 2e-3).abs() < 1e-6);
+        assert_eq!(r.jit.hits, 2);
+        assert_eq!(r.jit.misses, 1);
+        assert!((r.jit.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.counter("jit.launch_failures"), 1);
+    }
+
+    #[test]
+    fn spans_record_wall_and_sim() {
+        let t = Telemetry::new();
+        t.enable();
+        {
+            let s = t.span("hmc", "trajectory").with_sim(1.0);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            s.end_with_sim(1.5);
+        }
+        let r = t.profile_report();
+        let row = r.span("hmc/trajectory").expect("span row");
+        assert_eq!(row.count, 1);
+        assert!(row.wall > 0.0);
+        assert!((row.sim - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_events_written_and_parse() {
+        let t = Telemetry::new();
+        let path = std::env::temp_dir().join(format!(
+            "qdp_telemetry_test_{}.json",
+            std::process::id()
+        ));
+        t.enable_trace(&path);
+        assert!(t.is_tracing());
+        t.record_launch("k", 128, false, true, 0.0, 1e-3, 4096, 128);
+        t.record_sim_event(Track::Comm, "comm", "send", 0.0, 1e-6, &[("bytes", 9.0)]);
+        {
+            let _s = t.span("eval", "eval_expr");
+        }
+        let flushed = t.flush_trace().expect("trace written");
+        assert_eq!(flushed, path);
+        // second flush is a no-op
+        assert!(t.flush_trace().is_none());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).expect("trace must be valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let kernels = evs
+            .iter()
+            .filter(|e| {
+                e.get("cat").and_then(|c| c.as_str()) == Some("kernel")
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+            })
+            .count();
+        assert_eq!(kernels, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let t = Telemetry::new();
+        t.enable_trace("/nonexistent/never-written.json");
+        {
+            // bypass the cap loop cheaply: record two events into a tiny
+            // budget by filling via the public API
+            let mut inner = t.inner.lock();
+            for i in 0..MAX_TRACE_EVENTS {
+                Telemetry::push_event(
+                    &mut inner,
+                    TraceEvent {
+                        name: String::new(),
+                        cat: "x",
+                        track: Track::Host,
+                        tid: 0,
+                        ts_us: i as f64,
+                        dur_us: 0.0,
+                        args: Vec::new(),
+                    },
+                );
+            }
+        }
+        t.record_sim_event(Track::Device, "xfer", "h2d", 0.0, 1.0, &[]);
+        let r = t.profile_report();
+        assert_eq!(r.trace_events, MAX_TRACE_EVENTS);
+        assert_eq!(r.dropped_events, 1);
+        // prevent the Drop impl from attempting the bogus path
+        *t.trace_path.lock() = None;
+    }
+}

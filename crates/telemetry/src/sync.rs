@@ -1,0 +1,33 @@
+//! Non-poisoning mutex, same contract as `qdp_gpu_sim::sync::Mutex`.
+//!
+//! Duplicated here (rather than imported) because `qdp-gpu-sim` depends on
+//! this crate: telemetry sits at the very bottom of the workspace graph so
+//! every layer can record into it.
+
+use std::sync::PoisonError;
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly; a
+/// panicked holder does not poison it.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new lock.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,158 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Events use the "X" (complete) phase with `ts`/`dur` in microseconds.
+//! The two clocks map to separate trace *processes* so Perfetto renders
+//! them as parallel timelines that can be inspected independently:
+//!
+//! * pid 0 — `host (wall clock)`: spans from instrumented host code
+//!   (trajectory, MD step, solver, eval, codegen, jit-compile), one trace
+//!   thread per OS thread;
+//! * pid 1 — `device (simulated clock)`: kernel launches and PCIe
+//!   transfers, timestamped on the simulated device clock;
+//! * pid 2 — `comm (simulated clock)`: send/recv/allreduce activity.
+//!
+//! Host spans that observed the device clock carry `sim_t0_us` /
+//! `sim_dur_us` args, so the wall↔sim correspondence is recoverable even
+//! though the two clocks advance at unrelated rates.
+
+use crate::json;
+use crate::Track;
+use std::io::Write;
+use std::path::Path;
+
+/// One buffered trace event (always rendered as phase "X").
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (kernel name, span name, "h2d", …).
+    pub name: String,
+    /// Category; `trace_check` counts `cat == "kernel"` events.
+    pub cat: &'static str,
+    /// Which timeline (trace process) the event belongs to.
+    pub track: Track,
+    /// Thread id within the track (host spans use a per-OS-thread id).
+    pub tid: u32,
+    /// Start timestamp, microseconds (wall for Host, simulated otherwise).
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Numeric args shown in the Perfetto detail pane.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+fn pid(track: Track) -> u32 {
+    match track {
+        Track::Host => 0,
+        Track::Device => 1,
+        Track::Comm => 2,
+    }
+}
+
+fn write_event(out: &mut impl Write, ev: &TraceEvent) -> std::io::Result<()> {
+    write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}",
+        json::escape(&ev.name),
+        json::escape(ev.cat),
+        pid(ev.track),
+        ev.tid,
+        json::number(ev.ts_us),
+        json::number(ev.dur_us),
+    )?;
+    if !ev.args.is_empty() {
+        write!(out, ",\"args\":{{")?;
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "\"{}\":{}", json::escape(k), json::number(*v))?;
+        }
+        write!(out, "}}")?;
+    }
+    write!(out, "}}")
+}
+
+fn write_process_name(out: &mut impl Write, p: u32, name: &str) -> std::io::Result<()> {
+    write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+        json::escape(name)
+    )
+}
+
+/// Serialise `events` to `path` as a Chrome trace-event JSON document.
+pub fn write_chrome_trace(
+    path: &Path,
+    events: &[TraceEvent],
+    dropped: u64,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    write!(out, "{{\"traceEvents\":[")?;
+    write_process_name(&mut out, 0, "host (wall clock)")?;
+    write!(out, ",")?;
+    write_process_name(&mut out, 1, "device (simulated clock)")?;
+    write!(out, ",")?;
+    write_process_name(&mut out, 2, "comm (simulated clock)")?;
+    for ev in events {
+        write!(out, ",")?;
+        write_event(&mut out, ev)?;
+    }
+    write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"generator\":\"qdp-telemetry\",\"droppedEvents\":{dropped}}}}}"
+    )?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_valid_chrome_trace() {
+        let path = std::env::temp_dir().join(format!(
+            "qdp_trace_unit_{}.json",
+            std::process::id()
+        ));
+        let events = vec![
+            TraceEvent {
+                name: "qdp_\"weird\"".to_string(),
+                cat: "kernel",
+                track: Track::Device,
+                tid: 0,
+                ts_us: 0.0,
+                dur_us: 12.5,
+                args: vec![("block", 128.0)],
+            },
+            TraceEvent {
+                name: "trajectory".to_string(),
+                cat: "hmc",
+                track: Track::Host,
+                tid: 1,
+                ts_us: 3.0,
+                dur_us: 100.0,
+                args: vec![],
+            },
+        ];
+        write_chrome_trace(&path, &events, 2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 3 metadata + 2 real events
+        assert_eq!(evs.len(), 5);
+        let kernel_count = evs
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("kernel"))
+            .count();
+        assert_eq!(kernel_count, 1);
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("droppedEvents")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -60,5 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ctx.device().stats().launches,
         ctx.device().stats().kernel_time
     );
+
+    // With QDP_PROFILE=1, dump the full per-kernel telemetry table; with
+    // QDP_TRACE=out.json, flush the Chrome trace for Perfetto.
+    if ctx.telemetry().profiling() {
+        println!();
+        println!("{}", ctx.profile_report());
+    }
+    ctx.telemetry().flush_trace();
     Ok(())
 }

@@ -75,5 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "kernel census: {} distinct kernels generated for this workload",
         ctx.kernels().len()
     );
+
+    // With QDP_PROFILE=1, dump the full per-kernel telemetry table; with
+    // QDP_TRACE=out.json, flush the Chrome trace for Perfetto.
+    if ctx.telemetry().profiling() {
+        println!();
+        println!("{}", ctx.profile_report());
+    }
+    ctx.telemetry().flush_trace();
     Ok(())
 }
