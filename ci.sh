@@ -50,4 +50,17 @@ cargo run --release --offline -p qdp-telemetry --bin trace_check -- \
 rm -f "$trace"
 echo "ok: telemetry profile + trace smoke"
 
-echo "ci.sh: all green (offline build + workspace tests + telemetry smoke)"
+# ---- Conformance: JIT pipeline vs CPU reference ----------------------------
+# Fixed-seed differential sweeps (200 random expression DAGs per precision),
+# normal device and cache-pressure (forced LRU spill/page-in) configurations,
+# then a time-boxed PTX mutation-fuzz smoke over the parse→validate→lower
+# front end (structured errors or round-trip, never a panic).
+cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    sweep --cases 200 --ft both
+cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    sweep --cases 200 --ft both --pressure
+cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    fuzz --budget-ms 10000
+echo "ok: conformance sweeps + PTX fuzz smoke"
+
+echo "ci.sh: all green (offline build + workspace tests + telemetry smoke + conformance)"

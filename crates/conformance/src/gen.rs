@@ -1,0 +1,186 @@
+//! Seeded, typed random expression-DAG generator.
+//!
+//! Each production is typed: `gen_typed_expr(g, fx, kind, depth)` returns
+//! an expression whose result kind is exactly `kind`, built from the
+//! fixture's fields, scalar leaves, and every operator the codegen
+//! pipeline implements for that kind. Depth is bounded by the caller (and
+//! scaled by the proptest size, so failures shrink toward shallow trees);
+//! leaves are unit-scale so magnitudes stay well-conditioned.
+
+use crate::fixture::Fixture;
+use qdp_expr::{BinaryOp, Expr, ShiftDir, UnaryOp};
+use qdp_proptest::Gen;
+use qdp_types::{ElemKind, Gamma};
+
+/// Pick a target kind for one differential case. Matrix and fermion
+/// expressions carry the most codegen surface, so they get extra weight.
+pub fn random_target_kind(g: &mut Gen) -> ElemKind {
+    match g.usize_in(0..6) {
+        0 | 1 => ElemKind::ColorMatrix,
+        2 | 3 => ElemKind::Fermion,
+        4 => ElemKind::Complex,
+        _ => ElemKind::Real,
+    }
+}
+
+/// Generate a random expression of result kind `kind` with recursion
+/// budget `depth`.
+pub fn gen_typed_expr(g: &mut Gen, fx: &Fixture, kind: ElemKind, depth: usize) -> Expr {
+    match kind {
+        ElemKind::ColorMatrix => gen_cm(g, fx, depth),
+        ElemKind::Fermion => gen_fermion(g, fx, depth),
+        ElemKind::Complex => gen_complex(g, fx, depth),
+        ElemKind::Real => gen_real(g, fx, depth),
+        other => panic!("no generator for target kind {other:?}"),
+    }
+}
+
+fn shift(g: &mut Gen, child: Expr) -> Expr {
+    Expr::Shift {
+        mu: g.usize_in(0..4),
+        dir: if g.any_bool() {
+            ShiftDir::Forward
+        } else {
+            ShiftDir::Backward
+        },
+        child: Box::new(child),
+    }
+}
+
+fn un(op: UnaryOp, child: Expr) -> Expr {
+    Expr::Unary(op, Box::new(child))
+}
+
+fn bin(op: BinaryOp, a: Expr, b: Expr) -> Expr {
+    Expr::Binary(op, Box::new(a), Box::new(b))
+}
+
+fn scalar_real(g: &mut Gen) -> Expr {
+    Expr::real(g.f64_in(-1.0..1.0))
+}
+
+fn scalar_complex(g: &mut Gen) -> Expr {
+    Expr::complex(g.f64_in(-1.0..1.0), g.f64_in(-1.0..1.0))
+}
+
+fn gen_cm(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
+    if depth == 0 {
+        return Expr::Field(fx.u[g.usize_in(0..2)]);
+    }
+    let d = depth - 1;
+    match g.usize_in(0..13) {
+        0 => Expr::Field(fx.u[g.usize_in(0..2)]),
+        1 => bin(BinaryOp::Mul, gen_cm(g, fx, d), gen_cm(g, fx, d)),
+        2 => bin(BinaryOp::Add, gen_cm(g, fx, d), gen_cm(g, fx, d)),
+        3 => bin(BinaryOp::Sub, gen_cm(g, fx, d), gen_cm(g, fx, d)),
+        4 => un(UnaryOp::Neg, gen_cm(g, fx, d)),
+        5 => un(UnaryOp::Adj, gen_cm(g, fx, d)),
+        6 => un(UnaryOp::Conj, gen_cm(g, fx, d)),
+        7 => un(UnaryOp::Transpose, gen_cm(g, fx, d)),
+        8 => {
+            let child = gen_cm(g, fx, d);
+            shift(g, child)
+        }
+        9 => {
+            let s = scalar_complex(g);
+            bin(BinaryOp::Mul, s, gen_cm(g, fx, d))
+        }
+        10 => un(UnaryOp::DiagFill, gen_complex(g, fx, d)),
+        11 => bin(
+            BinaryOp::ColorOuter,
+            gen_fermion(g, fx, d),
+            gen_fermion(g, fx, d),
+        ),
+        _ => un(UnaryOp::ExpM, gen_cm(g, fx, d)),
+    }
+}
+
+fn gen_fermion(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
+    if depth == 0 {
+        return Expr::Field(fx.psi[g.usize_in(0..2)]);
+    }
+    let d = depth - 1;
+    match g.usize_in(0..10) {
+        0 => Expr::Field(fx.psi[g.usize_in(0..2)]),
+        1 => bin(BinaryOp::Mul, gen_cm(g, fx, d), gen_fermion(g, fx, d)),
+        2 => bin(BinaryOp::Add, gen_fermion(g, fx, d), gen_fermion(g, fx, d)),
+        3 => bin(BinaryOp::Sub, gen_fermion(g, fx, d), gen_fermion(g, fx, d)),
+        4 => un(UnaryOp::Neg, gen_fermion(g, fx, d)),
+        5 => {
+            let s = scalar_real(g);
+            bin(BinaryOp::Mul, s, gen_fermion(g, fx, d))
+        }
+        6 => {
+            let s = scalar_complex(g);
+            bin(BinaryOp::Mul, s, gen_fermion(g, fx, d))
+        }
+        7 => Expr::GammaMul {
+            gamma: Gamma::from_index(g.usize_in(0..16)),
+            child: Box::new(gen_fermion(g, fx, d)),
+        },
+        8 => {
+            let child = gen_fermion(g, fx, d);
+            shift(g, child)
+        }
+        _ => Expr::CloverApply {
+            diag: fx.clov_diag,
+            tri: fx.clov_tri,
+            child: Box::new(gen_fermion(g, fx, d)),
+        },
+    }
+}
+
+fn gen_complex(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
+    if depth == 0 {
+        return Expr::Field(fx.zeta);
+    }
+    let d = depth - 1;
+    match g.usize_in(0..11) {
+        0 => Expr::Field(fx.zeta),
+        1 => un(UnaryOp::Trace, gen_cm(g, fx, d)),
+        2 => bin(BinaryOp::Add, gen_complex(g, fx, d), gen_complex(g, fx, d)),
+        3 => bin(BinaryOp::Sub, gen_complex(g, fx, d), gen_complex(g, fx, d)),
+        4 => bin(BinaryOp::Mul, gen_complex(g, fx, d), gen_complex(g, fx, d)),
+        5 => un(UnaryOp::Conj, gen_complex(g, fx, d)),
+        6 => un(UnaryOp::TimesI, gen_real(g, fx, d)),
+        7 => bin(
+            BinaryOp::LocalInnerProduct,
+            gen_fermion(g, fx, d),
+            gen_fermion(g, fx, d),
+        ),
+        8 => {
+            let child = gen_complex(g, fx, d);
+            shift(g, child)
+        }
+        9 => {
+            let s = scalar_complex(g);
+            bin(BinaryOp::Mul, s, gen_complex(g, fx, d))
+        }
+        _ => un(UnaryOp::TimesMinusI, gen_complex(g, fx, d)),
+    }
+}
+
+fn gen_real(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
+    if depth == 0 {
+        return Expr::Field(fx.rho);
+    }
+    let d = depth - 1;
+    match g.usize_in(0..10) {
+        0 => Expr::Field(fx.rho),
+        1 => un(UnaryOp::RealPart, gen_complex(g, fx, d)),
+        2 => un(UnaryOp::ImagPart, gen_complex(g, fx, d)),
+        3 => un(UnaryOp::LocalNorm2, gen_fermion(g, fx, d)),
+        4 => un(UnaryOp::LocalNorm2, gen_cm(g, fx, d)),
+        5 => bin(BinaryOp::Add, gen_real(g, fx, d), gen_real(g, fx, d)),
+        6 => bin(BinaryOp::Mul, gen_real(g, fx, d), gen_real(g, fx, d)),
+        7 => un(UnaryOp::Neg, gen_real(g, fx, d)),
+        8 => {
+            let child = gen_real(g, fx, d);
+            shift(g, child)
+        }
+        _ => {
+            let s = scalar_real(g);
+            bin(BinaryOp::Mul, s, gen_real(g, fx, d))
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Differential conformance tests: JIT pipeline vs CPU reference.
+//!
+//! The CI sweep runs 200 cases per configuration via the `conformance`
+//! binary; these tests keep a smaller always-on version in `cargo test`,
+//! plus targeted coverage of subsets, site lists, and the seed-replay
+//! failure contract.
+
+use qdp_conformance::diff::{diff_case, max_ulps, SiteSel, SweepConfig};
+use qdp_conformance::differential_sweep;
+use qdp_conformance::fixture::Fixture;
+use qdp_expr::{BinaryOp, Expr, ShiftDir, UnaryOp};
+use qdp_layout::Subset;
+use qdp_proptest::{check, CaseError, Config};
+use qdp_types::FloatType;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn sweep_f64_normal() {
+    differential_sweep(&SweepConfig::new(24, FloatType::F64, false));
+}
+
+#[test]
+fn sweep_f32_normal() {
+    differential_sweep(&SweepConfig::new(24, FloatType::F32, false));
+}
+
+#[test]
+fn sweep_f64_pressure() {
+    differential_sweep(&SweepConfig::new(16, FloatType::F64, true));
+}
+
+#[test]
+fn sweep_f32_pressure() {
+    differential_sweep(&SweepConfig::new(16, FloatType::F32, true));
+}
+
+/// A fixed, representative expression exercising shifts, adjoints and a
+/// matrix product — the shape of a gauge-action staple term.
+fn staple_like(fx: &Fixture) -> Expr {
+    let shift = |e: Expr, mu: usize, dir: ShiftDir| Expr::Shift {
+        mu,
+        dir,
+        child: Box::new(e),
+    };
+    let mul = |a: Expr, b: Expr| Expr::Binary(BinaryOp::Mul, Box::new(a), Box::new(b));
+    let adj = |e: Expr| Expr::Unary(UnaryOp::Adj, Box::new(e));
+    mul(
+        Expr::Field(fx.u[0]),
+        shift(
+            mul(Expr::Field(fx.u[1]), adj(shift(Expr::Field(fx.u[0]), 1, ShiftDir::Backward))),
+            0,
+            ShiftDir::Forward,
+        ),
+    )
+}
+
+/// Subset-coverage satellite: the same expression must agree between the
+/// two paths on `all`, `even`, `odd`, and a non-contiguous custom site
+/// list. Targets start zeroed and the whole buffer is compared, so this
+/// also catches writes leaking outside the selected sites.
+#[test]
+fn subset_coverage_all_even_odd_and_custom_list() {
+    for ft in [FloatType::F32, FloatType::F64] {
+        let fx = Fixture::normal(ft, 7);
+        let expr = staple_like(&fx);
+        let vol = Fixture::geometry().vol() as u32;
+        // every third site plus an isolated tail site: non-contiguous,
+        // unaligned with the even/odd checkerboard
+        let custom: Vec<u32> = (0..vol).step_by(3).chain([vol - 1]).collect();
+        for sites in [
+            SiteSel::Subset(Subset::All),
+            SiteSel::Subset(Subset::Even),
+            SiteSel::Subset(Subset::Odd),
+            SiteSel::List(custom),
+        ] {
+            let ulp = diff_case(&fx, &expr, &sites).unwrap();
+            assert!(
+                ulp <= max_ulps(ft),
+                "{ft:?} {sites:?}: {ulp} ULPs (tolerance {})",
+                max_ulps(ft)
+            );
+        }
+    }
+}
+
+/// An empty site list is legal and must write nothing on either path.
+#[test]
+fn empty_site_list_is_a_no_op() {
+    let fx = Fixture::normal(FloatType::F64, 11);
+    let expr = staple_like(&fx);
+    let ulp = diff_case(&fx, &expr, &SiteSel::List(Vec::new())).unwrap();
+    assert_eq!(ulp, 0);
+}
+
+/// Out-of-range sites must be a structured error on both paths, not a
+/// crash or an out-of-bounds write.
+#[test]
+fn out_of_range_site_is_rejected() {
+    let fx = Fixture::normal(FloatType::F64, 13);
+    let expr = staple_like(&fx);
+    let vol = Fixture::geometry().vol() as u32;
+    let err = diff_case(&fx, &expr, &SiteSel::List(vec![0, vol])).unwrap_err();
+    assert!(
+        err.contains("out of range"),
+        "expected a site-range error, got: {err}"
+    );
+}
+
+/// The failure contract: when a differential case fails, the harness must
+/// print a replayable seed. Drive a deliberately failing property through
+/// the same `check` entry point the sweeps use and inspect the panic.
+#[test]
+fn failing_case_prints_replayable_seed() {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        check("conformance_seed_contract", Config::cases(5), |_g| {
+            Err::<(), _>(CaseError::fail("deliberate conformance failure"))
+        });
+    }));
+    std::panic::set_hook(hook);
+    let payload = result.expect_err("property must fail");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    for needle in ["seed:", "replay:", "QDP_PROPTEST_SEED="] {
+        assert!(
+            msg.contains(needle),
+            "failure message missing {needle:?}: {msg}"
+        );
+    }
+}
+
+/// Pressure-mode plumbing: the shrunken-device fixture must actually spill
+/// when ballast rotates against a working set (this is also asserted
+/// inside every pressure sweep; here it is pinned as its own test).
+#[test]
+fn pressure_fixture_spills_under_churn() {
+    let fx = Fixture::pressure(FloatType::F64, 3);
+    let expr = staple_like(&fx);
+    let before = fx.ctx.cache().stats();
+    for _ in 0..4 {
+        fx.churn();
+        let ulp = diff_case(&fx, &expr, &SiteSel::Subset(Subset::All)).unwrap();
+        assert!(ulp <= max_ulps(FloatType::F64));
+    }
+    let after = fx.ctx.cache().stats();
+    assert!(
+        after.spills > before.spills && after.page_ins > before.page_ins,
+        "no spill traffic: {after:?}"
+    );
+}

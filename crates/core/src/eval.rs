@@ -12,7 +12,7 @@ use crate::codegen::ptx_backend::{KernelEnv, PtxGen};
 use crate::codegen::value::{gen_expr, store_val, GenCtx};
 use crate::context::QdpContext;
 use qdp_cache::CacheError;
-use qdp_expr::{Expr, FieldRef, TypeError};
+use qdp_expr::{Expr, FieldRef, ShiftDir, TypeError};
 use qdp_gpu_sim::{KernelShape, LaunchError};
 use qdp_jit::{launch_tuned, JitError, LaunchArg};
 use qdp_layout::{FieldLayout, LayoutKind, Subset};
@@ -155,25 +155,35 @@ pub struct RemoteEnv {
     pub recv: std::collections::HashMap<(usize, qdp_expr::ShiftDir), Vec<qdp_gpu_sim::DevicePtr>>,
 }
 
-/// Evaluate `expr` into `target` over `subset` through the full QDP-JIT
-/// pipeline (generated kernel on the simulated device).
-pub fn eval_expr(
-    ctx: &QdpContext,
-    target: FieldRef,
-    expr: &Expr,
-    subset: Subset,
-) -> Result<EvalReport, CoreError> {
-    eval_impl(ctx, target, expr, SiteSel::Subset(subset), None)
+/// The codegen-facing description of one evaluation: environment, leaves,
+/// shift list, scalar flags and the structural key. Shared by the launch
+/// path, the golden-PTX snapshot tests and the conformance fuzzer so that
+/// every consumer sees *exactly* the kernel the pipeline would run.
+pub struct CodegenPlan {
+    /// Kernel environment handed to the PTX backend.
+    pub env: KernelEnv,
+    /// Field leaves in visiting order (kernel parameter order).
+    pub leaves: Vec<FieldRef>,
+    /// Shift pairs used by the expression.
+    pub shifts: Vec<(usize, ShiftDir)>,
+    /// Per-scalar complexity flags in traversal order.
+    pub flags: Vec<bool>,
+    /// Compute precision after promotion.
+    pub ft: FloatType,
+    /// Structural cache key.
+    pub key: String,
+    /// Derived kernel name (`qdp_<hash of key>`).
+    pub name: String,
 }
 
-/// Full-control evaluation used by the multi-rank overlap machinery.
-pub fn eval_impl(
+/// Build the codegen plan for evaluating `expr` into `target`.
+pub fn plan_codegen(
     ctx: &QdpContext,
     target: FieldRef,
     expr: &Expr,
-    sel: SiteSel,
-    remote: Option<&RemoteEnv>,
-) -> Result<EvalReport, CoreError> {
+    subset_mapped: bool,
+    remote_shifts: bool,
+) -> Result<CodegenPlan, CoreError> {
     let kind = expr.kind()?;
     if kind != target.kind {
         return Err(CoreError::Msg(format!(
@@ -185,33 +195,21 @@ pub fn eval_impl(
     let ft = max_ft(expr.float_type(), target.ft);
     let leaves = expr.leaves();
     let shifts = expr.shifts();
-    if remote.is_some() && expr.has_nested_shift() {
-        return Err(CoreError::Msg(
-            "nested shifts must be materialised before multi-rank evaluation \
-             (the paper executes inner shifts non-overlapping, §V)"
-                .into(),
-        ));
-    }
-    let tel = ctx.telemetry();
-    let span = tel.span("eval", "eval_expr").with_sim(ctx.device().now());
     let mut flags = Vec::new();
     scalar_flags(expr, &mut flags);
     let dims = ctx.geometry().dims();
-
-    let subset_mapped = !matches!(sel, SiteSel::Subset(Subset::All));
     let env = KernelEnv {
         n_sites: vol,
         layout: ctx.layout(),
         ft,
         subset_mapped,
-        remote_shifts: remote.is_some(),
+        remote_shifts,
         face_vols: std::array::from_fn(|mu| vol / dims[mu]),
         shifts: shifts.clone(),
         scalar_complex: flags.clone(),
         target_ft: target.ft,
         target_shape: TypeShape::of(target.kind),
     };
-
     // Structural key: expression structure + the codegen environment.
     let key = format!(
         "{}|v{}|{:?}|{}|m{}|r{}|t{:?}{}",
@@ -227,14 +225,123 @@ pub fn eval_impl(
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     let name = format!("qdp_{:016x}", h.finish());
+    Ok(CodegenPlan {
+        env,
+        leaves,
+        shifts,
+        flags,
+        ft,
+        key,
+        name,
+    })
+}
 
-    let ptx = ctx.ptx_for_key(&key, || {
+/// Unparse `expr` into a complete PTX module under `plan`, with an explicit
+/// kernel name (the launch path uses the structural-hash name; snapshot
+/// tests pass stable human-chosen names since hash output is not guaranteed
+/// stable across toolchains).
+pub fn render_ptx(plan: &CodegenPlan, expr: &Expr, kernel_name: &str) -> String {
+    let mut g = PtxGen::new(kernel_name, &plan.env, &plan.leaves);
+    let mut cx = GenCtx::new(&plan.leaves);
+    let v = gen_expr(expr, &mut g, &mut cx);
+    store_val(&mut g, &v);
+    emit_module(&Module::with_kernel(g.finish()))
+}
+
+/// Generate the PTX text the pipeline would run for `expr` into `target`
+/// over `subset`, under a caller-chosen kernel name. Pure codegen: nothing
+/// is compiled, cached or launched.
+pub fn codegen_ptx(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    subset: Subset,
+    kernel_name: &str,
+) -> Result<String, CoreError> {
+    let plan = plan_codegen(ctx, target, expr, subset != Subset::All, false)?;
+    Ok(render_ptx(&plan, expr, kernel_name))
+}
+
+/// Evaluate `expr` into `target` over `subset` through the full QDP-JIT
+/// pipeline (generated kernel on the simulated device).
+pub fn eval_expr(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    subset: Subset,
+) -> Result<EvalReport, CoreError> {
+    eval_impl(ctx, target, expr, SiteSel::Subset(subset), None)
+}
+
+/// Evaluate `expr` into `target` over an explicit host-side site list: the
+/// list is uploaded as a device table, the subset-mapped kernel runs over
+/// it, and the table is freed afterwards. This is the user-facing route to
+/// non-contiguous custom subsets.
+pub fn eval_expr_sites(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    sites: &[u32],
+) -> Result<EvalReport, CoreError> {
+    if sites.is_empty() {
+        return Ok(EvalReport::empty());
+    }
+    let vol = ctx.geometry().vol();
+    if let Some(bad) = sites.iter().find(|&&s| s as usize >= vol) {
+        return Err(CoreError::Msg(format!(
+            "site {bad} out of range for volume {vol}"
+        )));
+    }
+    let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
+    let ptr = ctx
+        .device()
+        .alloc(bytes.len())
+        .map_err(|e| CoreError::Msg(format!("site-list table alloc failed: {e}")))?;
+    ctx.device().h2d(ptr, &bytes);
+    let r = eval_impl(
+        ctx,
+        target,
+        expr,
+        SiteSel::List {
+            ptr,
+            len: sites.len(),
+        },
+        None,
+    );
+    ctx.device().free(ptr);
+    r
+}
+
+/// Full-control evaluation used by the multi-rank overlap machinery.
+pub fn eval_impl(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    sel: SiteSel,
+    remote: Option<&RemoteEnv>,
+) -> Result<EvalReport, CoreError> {
+    if remote.is_some() && expr.has_nested_shift() {
+        return Err(CoreError::Msg(
+            "nested shifts must be materialised before multi-rank evaluation \
+             (the paper executes inner shifts non-overlapping, §V)"
+                .into(),
+        ));
+    }
+    let subset_mapped = !matches!(sel, SiteSel::Subset(Subset::All));
+    let plan = plan_codegen(ctx, target, expr, subset_mapped, remote.is_some())?;
+    let CodegenPlan {
+        ref leaves,
+        ref shifts,
+        ref flags,
+        ft,
+        ..
+    } = plan;
+    let tel = ctx.telemetry();
+    let span = tel.span("eval", "eval_expr").with_sim(ctx.device().now());
+
+    let ptx = ctx.ptx_for_key(&plan.key, || {
         let _cg = tel.span("eval", "codegen");
-        let mut g = PtxGen::new(&name, &env, &leaves);
-        let mut cx = GenCtx::new(&leaves);
-        let v = gen_expr(expr, &mut g, &mut cx);
-        store_val(&mut g, &v);
-        emit_module(&Module::with_kernel(g.finish()))
+        render_ptx(&plan, expr, &plan.name)
     });
     let kernel = ctx.kernels().get_or_compile(&ptx)?;
 
@@ -277,12 +384,12 @@ pub fn eval_impl(
     if let Some(t) = site_tbl {
         args.push(LaunchArg::Ptr(t));
     }
-    for &(mu, dir) in &shifts {
+    for &(mu, dir) in shifts.iter() {
         let is_remote = remote.map(|r| r.split_dims[mu]).unwrap_or(false);
         args.push(LaunchArg::Ptr(ctx.neighbor_table(mu, dir, is_remote)));
     }
     if let Some(r) = remote {
-        for &(mu, dir) in &shifts {
+        for &(mu, dir) in shifts.iter() {
             match r.recv.get(&(mu, dir)) {
                 Some(bufs) => {
                     debug_assert_eq!(bufs.len(), leaves.len());
@@ -301,7 +408,7 @@ pub fn eval_impl(
 
     let site_stride = match ctx.layout() {
         LayoutKind::SoA => 1,
-        LayoutKind::AoS => env.target_shape.n_reals(),
+        LayoutKind::AoS => plan.env.target_shape.n_reals(),
     };
     let outcome = launch_tuned(
         ctx.device(),
@@ -365,7 +472,7 @@ fn eval_reference_typed<R: Real>(
     ctx: &QdpContext,
     target: FieldRef,
     expr: &Expr,
-    subset: Subset,
+    sites: &[u32],
 ) -> Result<(), CoreError> {
     let geom = ctx.geometry().clone();
     let vol = geom.vol();
@@ -375,7 +482,6 @@ fn eval_reference_typed<R: Real>(
         .map(|l| snapshot_leaf::<R>(ctx, l))
         .collect::<Result<_, _>>()?;
     let scalars = expr.scalar_values();
-    let sites = subset.sites(&geom);
 
     let results: Vec<(u32, Vec<(usize, R)>)> = parallel_map(sites.len(), |i| {
         let s = sites[i];
@@ -415,6 +521,18 @@ pub fn eval_reference(
     expr: &Expr,
     subset: Subset,
 ) -> Result<(), CoreError> {
+    let sites = subset.sites(ctx.geometry());
+    eval_reference_sites(ctx, target, expr, &sites)
+}
+
+/// Reference evaluation over an arbitrary site list — the CPU-side twin of
+/// [`eval_expr_sites`]. Sites outside the local volume are rejected.
+pub fn eval_reference_sites(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    sites: &[u32],
+) -> Result<(), CoreError> {
     let kind = expr.kind()?;
     if kind != target.kind {
         return Err(CoreError::Msg(format!(
@@ -422,10 +540,16 @@ pub fn eval_reference(
             target.kind
         )));
     }
+    let vol = ctx.geometry().vol();
+    if let Some(&bad) = sites.iter().find(|&&s| s as usize >= vol) {
+        return Err(CoreError::Msg(format!(
+            "site list entry {bad} out of range (local volume {vol})"
+        )));
+    }
     let ft = max_ft(expr.float_type(), target.ft);
     match ft {
-        FloatType::F32 => eval_reference_typed::<f32>(ctx, target, expr, subset),
-        FloatType::F64 => eval_reference_typed::<f64>(ctx, target, expr, subset),
+        FloatType::F32 => eval_reference_typed::<f32>(ctx, target, expr, sites),
+        FloatType::F64 => eval_reference_typed::<f64>(ctx, target, expr, sites),
     }
 }
 

@@ -26,7 +26,10 @@ pub mod field;
 pub mod multinode;
 
 pub use context::QdpContext;
-pub use eval::{CoreError, EvalReport};
+pub use eval::{
+    codegen_ptx, eval_expr, eval_expr_sites, eval_reference, eval_reference_sites, plan_codegen,
+    render_ptx, CodegenPlan, CoreError, EvalReport,
+};
 pub use field::{
     adj, clover_mul, conj, cscale, diag_fill, expm, gamma, gamma_mu, imag, outer_color, real,
     reduce_inner_product,

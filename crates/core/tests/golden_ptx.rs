@@ -1,0 +1,190 @@
+//! Golden-PTX snapshot tests.
+//!
+//! The code generator's exact output for a handful of representative
+//! kernels is pinned under `tests/snapshots/`. Any codegen change shows up
+//! as a readable text diff in review instead of a silent behaviour shift.
+//!
+//! To regenerate after an intentional codegen change:
+//!
+//! ```text
+//! QDP_UPDATE_SNAPSHOTS=1 cargo test -p qdp-core --test golden_ptx
+//! ```
+//!
+//! then commit the updated `.ptx` files with the change that caused them.
+
+use qdp_core::{codegen_ptx, QdpContext};
+use qdp_expr::{BinaryOp, Expr, FieldRef, ShiftDir, UnaryOp};
+use qdp_gpu_sim::DeviceConfig;
+use qdp_layout::{Geometry, LayoutKind, Subset};
+use qdp_types::{ElemKind, FloatType, Gamma, TypeShape};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Env {
+    ctx: Arc<QdpContext>,
+    u: [FieldRef; 4],
+    psi: [FieldRef; 2],
+}
+
+/// Deterministic registration order — snapshot parameter layout depends
+/// only on this function, not on test execution order.
+fn env(ft: FloatType) -> Env {
+    let ctx = QdpContext::new(
+        DeviceConfig::k20x_ecc_off(),
+        Geometry::new([4, 2, 2, 4]),
+        LayoutKind::SoA,
+    );
+    let vol = ctx.geometry().vol();
+    let reg = |kind: ElemKind| {
+        let bytes = vol * TypeShape::of(kind).n_reals() * ft.size_bytes();
+        FieldRef {
+            id: ctx.cache().register(bytes),
+            kind,
+            ft,
+        }
+    };
+    let u = [
+        reg(ElemKind::ColorMatrix),
+        reg(ElemKind::ColorMatrix),
+        reg(ElemKind::ColorMatrix),
+        reg(ElemKind::ColorMatrix),
+    ];
+    let psi = [reg(ElemKind::Fermion), reg(ElemKind::Fermion)];
+    Env { ctx, u, psi }
+}
+
+fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Binary(BinaryOp::Mul, Box::new(a), Box::new(b))
+}
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Binary(BinaryOp::Add, Box::new(a), Box::new(b))
+}
+
+fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Binary(BinaryOp::Sub, Box::new(a), Box::new(b))
+}
+
+fn adj(e: Expr) -> Expr {
+    Expr::Unary(UnaryOp::Adj, Box::new(e))
+}
+
+fn shift(e: Expr, mu: usize, dir: ShiftDir) -> Expr {
+    Expr::Shift {
+        mu,
+        dir,
+        child: Box::new(e),
+    }
+}
+
+fn gamma_mul(mu: usize, e: Expr) -> Expr {
+    Expr::GammaMul {
+        gamma: Gamma::gamma_mu(mu),
+        child: Box::new(e),
+    }
+}
+
+/// The Wilson hopping term (paper §VIII-C, the flagship kernel):
+/// `Σ_µ [(1 − γ_µ) U_µ ψ(x+µ̂) + (1 + γ_µ) U_µ†(x−µ̂) ψ(x−µ̂)]`.
+fn wilson_dslash_expr(e: &Env) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for mu in 0..4 {
+        let fwd = mul(
+            Expr::Field(e.u[mu]),
+            shift(Expr::Field(e.psi[0]), mu, ShiftDir::Forward),
+        );
+        let bwd = shift(
+            mul(adj(Expr::Field(e.u[mu])), Expr::Field(e.psi[0])),
+            mu,
+            ShiftDir::Backward,
+        );
+        let term = add(
+            sub(fwd.clone(), gamma_mul(mu, fwd)),
+            add(bwd.clone(), gamma_mul(mu, bwd)),
+        );
+        acc = Some(match acc {
+            None => term,
+            Some(a) => add(a, term),
+        });
+    }
+    acc.unwrap()
+}
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.ptx"))
+}
+
+/// Compare generated PTX against the pinned snapshot (or regenerate it
+/// when `QDP_UPDATE_SNAPSHOTS=1`), and require the text to make it through
+/// the driver JIT.
+fn check_snapshot(name: &str, ptx: &str) {
+    let kernels = qdp_jit::compile_ptx(ptx)
+        .unwrap_or_else(|e| panic!("snapshot {name} does not compile: {e:?}"));
+    assert!(!kernels.is_empty(), "snapshot {name}: no kernels");
+
+    let path = snapshot_path(name);
+    if std::env::var_os("QDP_UPDATE_SNAPSHOTS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, ptx).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "snapshot {} unreadable ({e}); run with QDP_UPDATE_SNAPSHOTS=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        golden == ptx,
+        "PTX for `{name}` diverged from tests/snapshots/{name}.ptx.\n\
+         If the codegen change is intentional, regenerate with\n\
+         QDP_UPDATE_SNAPSHOTS=1 cargo test -p qdp-core --test golden_ptx\n\
+         and commit the diff.\n\n--- generated ---\n{ptx}"
+    );
+}
+
+#[test]
+fn golden_wilson_dslash_f64() {
+    let e = env(FloatType::F64);
+    let expr = wilson_dslash_expr(&e);
+    let target = e.psi[1];
+    let ptx = codegen_ptx(&e.ctx, target, &expr, Subset::All, "wilson_dslash_dp").unwrap();
+    check_snapshot("wilson_dslash_dp", &ptx);
+}
+
+#[test]
+fn golden_wilson_dslash_f32() {
+    let e = env(FloatType::F32);
+    let expr = wilson_dslash_expr(&e);
+    let target = e.psi[1];
+    let ptx = codegen_ptx(&e.ctx, target, &expr, Subset::All, "wilson_dslash_sp").unwrap();
+    check_snapshot("wilson_dslash_sp", &ptx);
+}
+
+#[test]
+fn golden_su3_mul() {
+    let e = env(FloatType::F64);
+    let expr = mul(Expr::Field(e.u[0]), Expr::Field(e.u[1]));
+    let ptx = codegen_ptx(&e.ctx, e.u[2], &expr, Subset::All, "su3_mul_dp").unwrap();
+    check_snapshot("su3_mul_dp", &ptx);
+}
+
+#[test]
+fn golden_axpy_fermion() {
+    let e = env(FloatType::F64);
+    let expr = add(Expr::Field(e.psi[0]), mul(Expr::real(0.75), Expr::Field(e.psi[1])));
+    let target = e.psi[0];
+    let ptx = codegen_ptx(&e.ctx, target, &expr, Subset::All, "axpy_fermion_dp").unwrap();
+    check_snapshot("axpy_fermion_dp", &ptx);
+}
+
+/// Subset-mapped kernel: checkerboard evaluation routes sites through the
+/// subset table, a different indexing prologue from the dense case.
+#[test]
+fn golden_shift_cm_even() {
+    let e = env(FloatType::F64);
+    let expr = shift(Expr::Field(e.u[0]), 0, ShiftDir::Forward);
+    let ptx = codegen_ptx(&e.ctx, e.u[1], &expr, Subset::Even, "shift_cm_even_dp").unwrap();
+    check_snapshot("shift_cm_even_dp", &ptx);
+}

@@ -497,6 +497,56 @@ impl Inst {
         }
     }
 
+    /// Registers this instruction reads, appended to `out` (for validation
+    /// / liveness). Every register operand counts, including address
+    /// registers, selector predicates and branch guards.
+    pub fn use_regs(&self, out: &mut Vec<Reg>) {
+        fn op(o: &Operand, out: &mut Vec<Reg>) {
+            if let Operand::Reg(r) = o {
+                out.push(*r)
+            }
+        }
+        match self {
+            Inst::LdParam { .. } | Inst::MovSpecial { .. } | Inst::Label { .. } | Inst::Ret => {}
+            Inst::LdGlobal { addr, .. } => out.push(*addr),
+            Inst::StGlobal { addr, src, .. } => {
+                out.push(*addr);
+                op(src, out);
+            }
+            Inst::Mov { src, .. } => op(src, out),
+            Inst::Cvt { src, .. } => out.push(*src),
+            Inst::Unary { src, .. } => op(src, out),
+            Inst::Binary { a, b, .. } => {
+                op(a, out);
+                op(b, out);
+            }
+            Inst::MulWide { a, b, .. } => {
+                out.push(*a);
+                op(b, out);
+            }
+            Inst::MadLo { a, b, c, .. } | Inst::Fma { a, b, c, .. } => {
+                op(a, out);
+                op(b, out);
+                op(c, out);
+            }
+            Inst::Setp { a, b, .. } => {
+                op(a, out);
+                op(b, out);
+            }
+            Inst::Selp { a, b, pred, .. } => {
+                op(a, out);
+                op(b, out);
+                out.push(*pred);
+            }
+            Inst::Bra { pred, .. } => {
+                if let Some((p, _)) = pred {
+                    out.push(*p)
+                }
+            }
+            Inst::Call { args, .. } => out.extend(args.iter().copied()),
+        }
+    }
+
     /// Is this a global memory access, and how many bytes does it move?
     /// Used by the device performance model to count kernel traffic.
     pub fn global_bytes(&self) -> Option<(bool, usize)> {

@@ -5,6 +5,12 @@ use crate::types::{PtxType, Reg, RegClass};
 use crate::PtxError;
 use std::collections::HashSet;
 
+/// Upper bound on `.reg` declaration counts per class. Generated kernels
+/// stay in the hundreds; anything past this is a malformed module, and
+/// capping it keeps the lowering pass's per-register tables (slot maps,
+/// pressure vectors) from attempting multi-gigabyte allocations.
+pub const MAX_REGS_PER_CLASS: u32 = 1 << 16;
+
 /// A kernel parameter (`.param` space).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
@@ -85,6 +91,17 @@ impl Kernel {
             })
             .collect();
         let classes = RegClass::all();
+        for (i, c) in classes.iter().enumerate() {
+            if self.reg_counts[i] > MAX_REGS_PER_CLASS {
+                return Err(PtxError::Invalid(format!(
+                    "kernel {} declares {} {} registers (max {})",
+                    self.name,
+                    self.reg_counts[i],
+                    c.decl_type(),
+                    MAX_REGS_PER_CLASS
+                )));
+            }
+        }
         let check_reg = |r: &Reg| -> Result<(), PtxError> {
             let idx = classes.iter().position(|c| *c == r.class).unwrap();
             if r.id >= self.reg_counts[idx] {
@@ -95,9 +112,15 @@ impl Kernel {
             }
             Ok(())
         };
+        let mut uses = Vec::new();
         for inst in &self.body {
             if let Some(d) = inst.def_reg() {
                 check_reg(&d)?;
+            }
+            uses.clear();
+            inst.use_regs(&mut uses);
+            for u in &uses {
+                check_reg(u)?;
             }
             match inst {
                 Inst::Bra { target, .. } => {

@@ -7,7 +7,7 @@
 //! freedom) and rejects malformed programs with line-accurate errors.
 
 use crate::inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
-use crate::module::{Kernel, Module, Param};
+use crate::module::{Kernel, Module, Param, MAX_REGS_PER_CLASS};
 use crate::types::{PtxType, Reg, RegClass};
 use crate::PtxError;
 
@@ -507,6 +507,9 @@ pub fn parse_module(text: &str) -> Result<Module, PtxError> {
             let close = after
                 .rfind(')')
                 .ok_or_else(|| err(start_line, "missing `)`"))?;
+            if close < paren {
+                return Err(err(start_line, "`)` precedes `(` in parameter list"));
+            }
             let mut params = Vec::new();
             for ptext in after[paren + 1..close].split(',') {
                 let ptext = ptext.trim();
@@ -556,6 +559,12 @@ pub fn parse_module(text: &str) -> Result<Module, PtxError> {
                         .trim_end_matches('>')
                         .parse::<u32>()
                         .map_err(|_| err(ln, "bad reg count"))?;
+                    if count > MAX_REGS_PER_CLASS {
+                        return Err(err(
+                            ln,
+                            format!("reg count {count} exceeds limit {MAX_REGS_PER_CLASS}"),
+                        ));
+                    }
                     let idx = RegClass::all().iter().position(|c| *c == class).unwrap();
                     reg_counts[idx] = count;
                     i += 1;

@@ -1,0 +1,88 @@
+//! Crash-regression corpus for the PTX parser.
+//!
+//! Every `tests/corpus/*.ptx` file is a minimised fuzzer find (or a
+//! hand-written seed covering the same class of malformation). Each file
+//! declares its expected outcome on the first line:
+//!
+//! ```text
+//! // expect: parse-error   — parse_module must return PtxError::Parse
+//! // expect: invalid       — parse succeeds, validate() must reject
+//! // expect: ok            — must parse, validate and round-trip
+//! ```
+//!
+//! Whatever the expectation, the pipeline must never panic; new fuzzer
+//! finds are added here as plain files, no code changes needed.
+
+use qdp_ptx::emit::emit_module;
+use qdp_ptx::parse::parse_module;
+use qdp_ptx::PtxError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn corpus_files() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("ptx") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).unwrap();
+            out.push((name, text));
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 9, "corpus unexpectedly small: {}", out.len());
+    out
+}
+
+fn expectation(text: &str) -> &'static str {
+    let first = text.lines().next().unwrap_or("");
+    let tag = first.trim_start_matches('/').trim();
+    match tag.strip_prefix("expect:").map(str::trim) {
+        Some("parse-error") => "parse-error",
+        Some("invalid") => "invalid",
+        Some("ok") => "ok",
+        other => panic!("corpus file missing `// expect:` directive: {other:?}"),
+    }
+}
+
+#[test]
+fn corpus_never_panics_and_matches_expectations() {
+    for (name, text) in corpus_files() {
+        let expect = expectation(&text);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            parse_module(&text).and_then(|m| m.validate().map(|()| m))
+        }));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(_) => panic!("{name}: parser/validator panicked"),
+        };
+        match (expect, &result) {
+            ("parse-error", Err(PtxError::Parse { .. })) => {}
+            ("invalid", Err(PtxError::Invalid(_))) => {}
+            ("ok", Ok(module)) => {
+                // Emitted text must reparse to the identical IR.
+                let text2 = emit_module(module);
+                let reparsed = parse_module(&text2)
+                    .unwrap_or_else(|e| panic!("{name}: emitted text failed to reparse: {e:?}"));
+                assert_eq!(&reparsed, module, "{name}: round-trip IR mismatch");
+            }
+            _ => panic!("{name}: expected {expect}, got {result:?}"),
+        }
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    for (name, text) in corpus_files() {
+        if expectation(&text) != "parse-error" {
+            continue;
+        }
+        match parse_module(&text) {
+            Err(PtxError::Parse { line, msg }) => {
+                assert!(line >= 1, "{name}: nonsense line number");
+                assert!(!msg.is_empty(), "{name}: empty error message");
+            }
+            other => panic!("{name}: expected Parse error, got {other:?}"),
+        }
+    }
+}
