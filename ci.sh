@@ -63,4 +63,29 @@ cargo run --release --offline -p qdp-conformance --bin conformance -- \
     fuzz --budget-ms 10000
 echo "ok: conformance sweeps + PTX fuzz smoke"
 
-echo "ci.sh: all green (offline build + workspace tests + telemetry smoke + conformance)"
+# ---- Kernel optimizer ------------------------------------------------------
+# The differential sweeps must stay green under both explicit optimizer
+# settings (the fuzz smoke above already pushes every accepted mutant
+# through the optimizer), and the optimized pipeline must agree with the
+# unoptimized one bit-for-bit (--opt-diff, 0-ULP contract).
+QDP_OPT=1 cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    sweep --cases 200 --ft both
+QDP_OPT=0 cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    sweep --cases 200 --ft both
+cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    sweep --cases 200 --ft both --opt-diff
+echo "ok: optimizer conformance (QDP_OPT=1, QDP_OPT=0, opt-diff)"
+
+# ---- Framework bench: optimizer before/after -------------------------------
+# The framework bench records the simulated dslash bandwidth with the
+# optimizer off and on; both rows must land in BENCH_framework.json (the
+# file the perf-trajectory tracking consumes across commits). Cargo runs
+# bench binaries from the package dir, so pin the output to the repo root.
+QDP_BENCH_JSON="$PWD/BENCH_framework.json" \
+    cargo bench --offline -p qdp-bench --bench framework
+test -s BENCH_framework.json
+grep -q '"dslash_sim_bandwidth_gbps_opt_off"' BENCH_framework.json
+grep -q '"dslash_sim_bandwidth_gbps_opt_on"' BENCH_framework.json
+echo "ok: framework bench recorded before/after optimizer bandwidth"
+
+echo "ci.sh: all green (offline build + workspace tests + telemetry smoke + conformance + optimizer + bench)"

@@ -114,6 +114,44 @@ fn bench_cg_iteration(c: &mut Harness) {
     });
 }
 
+/// Kernel-optimizer before/after: the full 4-direction Wilson hopping term
+/// evaluated with the optimizer off (`o0`) and at its default level
+/// (`o1`). The optimized kernel issues roughly half the `ld.global`s, so
+/// both the wall-clock eval and the simulated sustained bandwidth move;
+/// the `dslash_sim_bandwidth_gbps_opt_*` rows land in the results JSON as
+/// the recorded before/after figures.
+fn bench_optimizer(c: &mut Harness) {
+    use qdp_core::OptLevel;
+    let ctx = setup_ctx(8);
+    let (u, psi) = fields(&ctx, 7);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    let dslash = || {
+        let mut acc = None;
+        for mu in 0..4 {
+            let term = u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        acc.unwrap()
+    };
+    for (tag, level) in [("off", OptLevel::None), ("on", OptLevel::Default)] {
+        ctx.set_opt_level(Some(level));
+        out.assign(dslash()).unwrap(); // compile + settle the tuner
+        let report = out.assign(dslash()).unwrap();
+        c.record_value(
+            &format!("dslash_sim_bandwidth_gbps_opt_{tag}"),
+            report.bandwidth / 1e9,
+        );
+        c.bench_function(&format!("dslash_eval_opt_{tag}_8x4"), |b| {
+            b.iter(|| out.assign(dslash()).unwrap());
+        });
+    }
+    ctx.set_opt_level(None);
+}
+
 /// Reduction (norm2) end to end.
 fn bench_reduction(c: &mut Harness) {
     let ctx = setup_ctx(8);
@@ -131,4 +169,5 @@ fn main() {
     bench_cache_ops(&mut h);
     bench_cg_iteration(&mut h);
     bench_reduction(&mut h);
+    bench_optimizer(&mut h);
 }

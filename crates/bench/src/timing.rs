@@ -240,6 +240,28 @@ impl Harness {
         self.results.push((name.to_string(), stats));
     }
 
+    /// Record a derived metric (e.g. a simulated bandwidth in GB/s) as a
+    /// degenerate result row: all four statistics equal `value`, σ = 0.
+    /// Subject to the same name filter as [`Harness::bench_function`], and
+    /// written to the results JSON alongside the timed rows.
+    pub fn record_value(&mut self, name: &str, value: f64) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        println!("{name:<40} value {value:.4}");
+        self.results.push((
+            name.to_string(),
+            Stats {
+                min: value,
+                median: value,
+                mean: value,
+                stddev: 0.0,
+            },
+        ));
+    }
+
     /// Number of benchmarks actually run (post-filter).
     pub fn n_run(&self) -> usize {
         self.results.len()

@@ -1,25 +1,27 @@
 //! Conformance driver: differential sweeps and the PTX mutation fuzzer.
 //!
 //! ```text
-//! conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D]
+//! conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D] [--opt-diff]
 //! conformance fuzz  [--budget-ms MS] [--seed S]
 //! conformance replay --seed MASTER [--ft f32|f64] [--pressure]
 //! ```
 //!
 //! `sweep` runs fixed-seed differential sweeps and exits non-zero on the
 //! first mismatch (the failure message carries the replayable case seed).
+//! With `--opt-diff` the sweep compares the JIT pipeline against itself
+//! (optimizer on vs off, 0-ULP contract) instead of against the reference.
 //! `replay` re-runs a sweep under a specific master seed reported by a
 //! failure. `fuzz` time-boxes the PTX mutation fuzzer and exits non-zero
 //! if any mutant panicked or broke round-trip.
 
-use qdp_conformance::{differential_sweep, run_fuzz, SweepConfig};
+use qdp_conformance::{differential_sweep, opt_differential_sweep, run_fuzz, SweepConfig};
 use qdp_types::FloatType;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D]\n  \
+        "usage:\n  conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D] [--opt-diff]\n  \
          conformance fuzz  [--budget-ms MS] [--seed S]\n  \
          conformance replay --seed MASTER [--ft f32|f64] [--pressure]"
     );
@@ -77,15 +79,22 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     let cases: u32 = args.num("--cases", 200);
     let depth: usize = args.num("--depth", 4);
     let pressure = args.has("--pressure");
+    let opt_diff = args.has("--opt-diff");
     for ft in parse_fts(args.get("--ft").unwrap_or("both")) {
         let mut cfg = SweepConfig::new(cases, ft, pressure);
         cfg.max_depth = depth;
-        println!(
-            "conformance: sweep {} ({cases} cases, depth ≤ {depth})",
-            cfg.name
-        );
-        differential_sweep(&cfg);
-        println!("conformance: sweep {} OK", cfg.name);
+        let label = if opt_diff {
+            format!("opt_{}", cfg.name)
+        } else {
+            cfg.name.clone()
+        };
+        println!("conformance: sweep {label} ({cases} cases, depth ≤ {depth})");
+        if opt_diff {
+            opt_differential_sweep(&cfg);
+        } else {
+            differential_sweep(&cfg);
+        }
+        println!("conformance: sweep {label} OK");
     }
     ExitCode::SUCCESS
 }

@@ -2,6 +2,7 @@
 
 use crate::fixture::Fixture;
 use crate::gen::{gen_typed_expr, random_target_kind};
+use qdp_core::OptLevel;
 use qdp_expr::Expr;
 use qdp_layout::Subset;
 use qdp_proptest::{check, CaseError, Config, Gen};
@@ -129,6 +130,81 @@ pub fn diff_case(fx: &Fixture, expr: &Expr, sites: &SiteSel) -> Result<u64, Stri
     fx.release(jit_t);
     fx.release(ref_t);
     result
+}
+
+/// Run one expression through the JIT pipeline twice — once with the
+/// kernel optimizer at its default level, once with it off — and return
+/// the worst ULP distance between the two target buffers.
+///
+/// The default optimizer configuration (DAG CSE + bit-preserving PTX
+/// passes) must be *value-preserving*, so the tolerance for this mode is
+/// exactly zero: any difference is an optimizer bug, not float slack.
+pub fn opt_diff_case(fx: &Fixture, expr: &Expr, sites: &SiteSel) -> Result<u64, String> {
+    let kind = expr.kind().map_err(|e| format!("generated ill-typed DAG: {e}"))?;
+    let opt_t = fx.fresh_target(kind);
+    let plain_t = fx.fresh_target(kind);
+    let eval = |target, level| -> Result<(), String> {
+        fx.ctx.set_opt_level(Some(level));
+        let r = match sites {
+            SiteSel::Subset(s) => qdp_core::eval_expr(&fx.ctx, target, expr, *s)
+                .map_err(|e| format!("{level:?} eval failed: {e:?}")),
+            SiteSel::List(list) => qdp_core::eval_expr_sites(&fx.ctx, target, expr, list)
+                .map_err(|e| format!("{level:?} site-list eval failed: {e:?}")),
+        };
+        r.map(|_| ())
+    };
+    let result = eval(opt_t, OptLevel::Default)
+        .and_then(|()| eval(plain_t, OptLevel::None))
+        .and_then(|()| {
+            let a = fx
+                .ctx
+                .cache()
+                .with_host(opt_t.id, |h| h.to_vec())
+                .map_err(|e| format!("optimized target readback: {e}"))?;
+            let b = fx
+                .ctx
+                .cache()
+                .with_host(plain_t.id, |h| h.to_vec())
+                .map_err(|e| format!("plain target readback: {e}"))?;
+            Ok(max_ulp_distance(fx.ft, &a, &b))
+        });
+    fx.ctx.set_opt_level(None);
+    fx.release(opt_t);
+    fx.release(plain_t);
+    result
+}
+
+/// Run an optimized-vs-unoptimized differential sweep: `cfg.cases` random
+/// typed DAGs, each evaluated through the JIT pipeline with the optimizer
+/// on and off, required to agree **bit-for-bit** (0 ULP).
+pub fn opt_differential_sweep(cfg: &SweepConfig) {
+    let fx = if cfg.pressure {
+        Fixture::pressure(cfg.ft, 0x0D1FF)
+    } else {
+        Fixture::normal(cfg.ft, 0x0D1FF)
+    };
+    check(
+        &format!("opt_{}", cfg.name),
+        Config::cases(cfg.cases),
+        |g| {
+            if cfg.pressure {
+                fx.churn();
+            }
+            let kind = random_target_kind(g);
+            let depth = g.depth(cfg.max_depth);
+            let expr = gen_typed_expr(g, &fx, kind, depth);
+            let sites = random_sites(g, cfg.pressure);
+            let max_ulp = opt_diff_case(&fx, &expr, &sites).map_err(CaseError::fail)?;
+            if max_ulp > 0 {
+                return Err(CaseError::fail(format!(
+                    "optimized and unoptimized kernels disagree by {max_ulp} ULPs \
+                     (must be bit-identical) on {kind:?} target, sites {sites:?}, \
+                     expr: {expr:?}"
+                )));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// One sweep's configuration.

@@ -8,7 +8,10 @@
 //! * the pipeline never panics — malformed text yields structured
 //!   `PtxError`s with line context;
 //! * any mutant the parser *accepts* must round-trip: emitting the parsed
-//!   module and reparsing yields the identical IR.
+//!   module and reparsing yields the identical IR;
+//! * any mutant that *validates* must survive the kernel optimizer: the
+//!   optimized module still validates (the optimizer reverts kernels its
+//!   rewrite would break) and still lowers without panicking.
 //!
 //! Mutated kernels are never executed — this fuzzes the front end only.
 
@@ -165,6 +168,19 @@ fn check_mutant(text: &str) -> Result<bool, String> {
                 // Validation and lowering may reject, but must not panic.
                 if module.validate().is_ok() {
                     for k in &module.kernels {
+                        let _ = qdp_jit::lower_kernel(k);
+                    }
+                    // The optimizer must never turn a valid module into an
+                    // invalid one (it reverts any kernel its rewrite
+                    // breaks), and the optimized module must still lower
+                    // without panicking. Aggressive is the superset of
+                    // passes.
+                    let mut optimized = module.clone();
+                    qdp_ptx::opt::optimize_module(&mut optimized, qdp_ptx::opt::OptLevel::Aggressive);
+                    if let Err(e) = optimized.validate() {
+                        return Err(format!("optimizer invalidated a valid module: {e:?}"));
+                    }
+                    for k in &optimized.kernels {
                         let _ = qdp_jit::lower_kernel(k);
                     }
                 }

@@ -68,7 +68,7 @@ fn gen_cm(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
         return Expr::Field(fx.u[g.usize_in(0..2)]);
     }
     let d = depth - 1;
-    match g.usize_in(0..13) {
+    match g.usize_in(0..14) {
         0 => Expr::Field(fx.u[g.usize_in(0..2)]),
         1 => bin(BinaryOp::Mul, gen_cm(g, fx, d), gen_cm(g, fx, d)),
         2 => bin(BinaryOp::Add, gen_cm(g, fx, d), gen_cm(g, fx, d)),
@@ -91,7 +91,14 @@ fn gen_cm(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
             gen_fermion(g, fx, d),
             gen_fermion(g, fx, d),
         ),
-        _ => un(UnaryOp::ExpM, gen_cm(g, fx, d)),
+        12 => un(UnaryOp::ExpM, gen_cm(g, fx, d)),
+        // Shared subtree used both in place and under a shift — the shape
+        // that stresses the DAG-CSE memo across shift-path boundaries and
+        // the backends' push/pop bookkeeping.
+        _ => {
+            let c = gen_cm(g, fx, d);
+            bin(BinaryOp::Add, c.clone(), shift(g, c))
+        }
     }
 }
 
@@ -100,7 +107,7 @@ fn gen_fermion(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
         return Expr::Field(fx.psi[g.usize_in(0..2)]);
     }
     let d = depth - 1;
-    match g.usize_in(0..10) {
+    match g.usize_in(0..11) {
         0 => Expr::Field(fx.psi[g.usize_in(0..2)]),
         1 => bin(BinaryOp::Mul, gen_cm(g, fx, d), gen_fermion(g, fx, d)),
         2 => bin(BinaryOp::Add, gen_fermion(g, fx, d), gen_fermion(g, fx, d)),
@@ -122,11 +129,16 @@ fn gen_fermion(g: &mut Gen, fx: &Fixture, depth: usize) -> Expr {
             let child = gen_fermion(g, fx, d);
             shift(g, child)
         }
-        _ => Expr::CloverApply {
+        9 => Expr::CloverApply {
             diag: fx.clov_diag,
             tri: fx.clov_tri,
             child: Box::new(gen_fermion(g, fx, d)),
         },
+        // Shared subtree in place and shifted (see `gen_cm`).
+        _ => {
+            let c = gen_fermion(g, fx, d);
+            bin(BinaryOp::Add, c.clone(), shift(g, c))
+        }
     }
 }
 

@@ -27,7 +27,9 @@ pub mod fixture;
 pub mod fuzz;
 pub mod gen;
 
-pub use diff::{differential_sweep, max_ulps, SiteSel, SweepConfig};
+pub use diff::{
+    differential_sweep, max_ulps, opt_diff_case, opt_differential_sweep, SiteSel, SweepConfig,
+};
 pub use fixture::Fixture;
 pub use fuzz::{run_fuzz, FuzzOutcome};
 pub use gen::{gen_typed_expr, random_target_kind};

@@ -40,4 +40,12 @@ pub trait Backend {
     fn pop_shift(&mut self);
     /// Store component `comp` of the target at the current site.
     fn store(&mut self, comp: usize, v: &Self::V);
+
+    /// A structural fault recorded during the walk (e.g. an unbalanced
+    /// shift pop on a malformed DAG). Backends note the first fault and
+    /// keep going rather than panicking mid-generation; the pipeline checks
+    /// after the walk and turns it into a structured codegen error.
+    fn fault(&self) -> Option<&str> {
+        None
+    }
 }

@@ -26,6 +26,8 @@ pub struct CpuGen<'a, R: Real> {
     path_stack: Vec<usize>,
     /// Output staging: `(comp, value)` pairs for the current site.
     pub out: Vec<(usize, R)>,
+    /// First structural fault seen during the walk (malformed DAG).
+    fault: Option<&'static str>,
 }
 
 impl<'a, R: Real> CpuGen<'a, R> {
@@ -43,6 +45,7 @@ impl<'a, R: Real> CpuGen<'a, R> {
             site,
             path_stack: Vec::new(),
             out: Vec::new(),
+            fault: None,
         }
     }
 
@@ -51,6 +54,7 @@ impl<'a, R: Real> CpuGen<'a, R> {
         self.site = site;
         self.path_stack.clear();
         self.out.clear();
+        self.fault = None;
     }
 }
 
@@ -102,10 +106,20 @@ impl<'a, R: Real> Backend for CpuGen<'a, R> {
     }
 
     fn pop_shift(&mut self) {
-        self.site = self.path_stack.pop().expect("unbalanced shift pop");
+        match self.path_stack.pop() {
+            Some(site) => self.site = site,
+            // A pop without a matching push means the DAG is malformed;
+            // record it and keep walking so the pipeline can report a
+            // structured error instead of panicking mid-evaluation.
+            None => self.fault = Some("unbalanced shift pop (pop without matching push)"),
+        }
     }
 
     fn store(&mut self, comp: usize, v: &R) {
         self.out.push((comp, *v));
+    }
+
+    fn fault(&self) -> Option<&str> {
+        self.fault
     }
 }

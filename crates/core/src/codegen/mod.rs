@@ -3,10 +3,12 @@
 
 pub mod backend;
 pub mod cpu_backend;
+pub mod cse;
 pub mod ptx_backend;
 pub mod value;
 
 pub use backend::Backend;
 pub use cpu_backend::CpuGen;
+pub use cse::CseBackend;
 pub use ptx_backend::{KernelEnv, PtxGen};
 pub use value::{gen_expr, load_leaf, store_val, GenCtx, SVal, CV};

@@ -79,6 +79,8 @@ pub struct PtxGen<'a> {
     recv_bases: HashMap<(usize, ShiftDir, usize), Reg>,
     exit_label: String,
     const_cache: HashMap<u64, Reg>,
+    /// First structural fault seen during the walk (malformed DAG).
+    fault: Option<&'static str>,
 }
 
 impl<'a> PtxGen<'a> {
@@ -196,6 +198,7 @@ impl<'a> PtxGen<'a> {
             recv_bases,
             exit_label,
             const_cache: HashMap::new(),
+            fault: None,
         }
     }
 
@@ -431,7 +434,17 @@ impl<'a> Backend for PtxGen<'a> {
     }
 
     fn pop_shift(&mut self) {
-        self.path.pop();
+        // Mirror of the CPU backend's check: a pop without a matching push
+        // means the DAG is malformed. Record the fault so the pipeline can
+        // fail with a structured codegen error before any PTX is emitted
+        // for launch.
+        if self.path.pop().is_none() {
+            self.fault = Some("unbalanced shift pop (pop without matching push)");
+        }
+    }
+
+    fn fault(&self) -> Option<&str> {
+        self.fault
     }
 
     fn store(&mut self, comp: usize, v: &Reg) {

@@ -8,6 +8,7 @@ use qdp_expr::ShiftDir;
 use qdp_gpu_sim::{Device, DeviceConfig, DevicePtr};
 use qdp_jit::{AutoTuner, KernelCache};
 use qdp_layout::{Dir, Geometry, LayoutKind, Subset};
+use qdp_ptx::opt::OptLevel;
 use qdp_telemetry::{ProfileReport, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,6 +26,7 @@ pub struct QdpContext {
     subset_tables: Mutex<HashMap<Subset, (DevicePtr, usize)>>,
     ptx_texts: Mutex<HashMap<String, Arc<str>>>,
     execute_payload: AtomicBool,
+    opt_override: Mutex<Option<OptLevel>>,
 }
 
 impl QdpContext {
@@ -56,6 +58,7 @@ impl QdpContext {
             subset_tables: Mutex::new(HashMap::new()),
             ptx_texts: Mutex::new(HashMap::new()),
             execute_payload: AtomicBool::new(true),
+            opt_override: Mutex::new(None),
         })
     }
 
@@ -118,19 +121,48 @@ impl QdpContext {
         self.execute_payload.store(on, Ordering::Relaxed);
     }
 
+    /// Optimizer level in effect for expressions evaluated on this context:
+    /// a per-context override if one was set, otherwise `QDP_OPT` read
+    /// fresh from the environment (so toggling the variable mid-process
+    /// takes effect — the JIT cache keys on the level, never serving a
+    /// kernel compiled under the other setting).
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_override.lock().unwrap_or_else(OptLevel::from_env)
+    }
+
+    /// Pin (`Some`) or unpin (`None`) the optimizer level for this context,
+    /// overriding `QDP_OPT`. Used by differential tests that evaluate the
+    /// same expression optimized and unoptimized inside one process.
+    pub fn set_opt_level(&self, level: Option<OptLevel>) {
+        *self.opt_override.lock() = level;
+    }
+
     /// Cache a generated PTX text under its structural key.
     pub fn ptx_for_key(
         &self,
         key: &str,
         generate: impl FnOnce() -> String,
     ) -> Arc<str> {
+        match self.try_ptx_for_key(key, || Ok::<_, std::convert::Infallible>(generate())) {
+            Ok(t) => t,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Fallible variant of [`QdpContext::ptx_for_key`]: a generator error
+    /// is propagated and nothing is cached.
+    pub fn try_ptx_for_key<E>(
+        &self,
+        key: &str,
+        generate: impl FnOnce() -> Result<String, E>,
+    ) -> Result<Arc<str>, E> {
         let mut map = self.ptx_texts.lock();
         if let Some(t) = map.get(key) {
-            return Arc::clone(t);
+            return Ok(Arc::clone(t));
         }
-        let text: Arc<str> = generate().into();
+        let text: Arc<str> = generate()?.into();
         map.insert(key.to_string(), Arc::clone(&text));
-        text
+        Ok(text)
     }
 
     /// Number of distinct generated PTX programs.

@@ -7,7 +7,9 @@
 //! block size. A reference path evaluates the same AST on the CPU — the
 //! "original implementation" — for validation and baseline timing.
 
+use crate::codegen::backend::Backend;
 use crate::codegen::cpu_backend::CpuGen;
+use crate::codegen::cse::CseBackend;
 use crate::codegen::ptx_backend::{KernelEnv, PtxGen};
 use crate::codegen::value::{gen_expr, store_val, GenCtx};
 use crate::context::QdpContext;
@@ -18,6 +20,7 @@ use qdp_jit::{launch_tuned, JitError, LaunchArg};
 use qdp_layout::{FieldLayout, LayoutKind, Subset};
 use qdp_ptx::emit::emit_module;
 use qdp_ptx::module::Module;
+use qdp_ptx::opt::OptLevel;
 use qdp_types::{ElemKind, FloatType, Real, TypeShape};
 use qdp_gpu_sim::par::parallel_map;
 use std::collections::hash_map::DefaultHasher;
@@ -34,6 +37,9 @@ pub enum CoreError {
     Launch(LaunchError),
     /// JIT translation failure.
     Jit(JitError),
+    /// Structural fault found while generating code for a malformed DAG
+    /// (e.g. an unbalanced shift pop).
+    Codegen(String),
     /// Anything else.
     Msg(String),
 }
@@ -66,6 +72,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Cache(e) => write!(f, "{e}"),
             CoreError::Launch(e) => write!(f, "{e}"),
             CoreError::Jit(e) => write!(f, "{e}"),
+            CoreError::Codegen(m) => write!(f, "codegen fault: {m}"),
             CoreError::Msg(m) => write!(f, "{m}"),
         }
     }
@@ -174,6 +181,10 @@ pub struct CodegenPlan {
     pub key: String,
     /// Derived kernel name (`qdp_<hash of key>`).
     pub name: String,
+    /// Optimizer level the kernel is planned for. Part of `key` (and of
+    /// the JIT cache key downstream): kernels compiled under different
+    /// optimizer configurations must never be confused.
+    pub opt: OptLevel,
 }
 
 /// Build the codegen plan for evaluating `expr` into `target`.
@@ -210,9 +221,11 @@ pub fn plan_codegen(
         target_ft: target.ft,
         target_shape: TypeShape::of(target.kind),
     };
-    // Structural key: expression structure + the codegen environment.
+    // Structural key: expression structure + the codegen environment +
+    // the optimizer configuration.
+    let opt = ctx.opt_level();
     let key = format!(
-        "{}|v{}|{:?}|{}|m{}|r{}|t{:?}{}",
+        "{}|v{}|{:?}|{}|m{}|r{}|t{:?}{}|{}",
         expr.kernel_key(),
         vol,
         env.layout,
@@ -221,6 +234,7 @@ pub fn plan_codegen(
         env.remote_shifts,
         target.kind,
         target.ft.tag(),
+        opt.tag(),
     );
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
@@ -233,6 +247,7 @@ pub fn plan_codegen(
         ft,
         key,
         name,
+        opt,
     })
 }
 
@@ -240,12 +255,32 @@ pub fn plan_codegen(
 /// kernel name (the launch path uses the structural-hash name; snapshot
 /// tests pass stable human-chosen names since hash output is not guaranteed
 /// stable across toolchains).
-pub fn render_ptx(plan: &CodegenPlan, expr: &Expr, kernel_name: &str) -> String {
-    let mut g = PtxGen::new(kernel_name, &plan.env, &plan.leaves);
+///
+/// When the plan's optimizer level enables it, the walk runs through the
+/// DAG-level CSE wrapper, so repeated subexpressions are loaded and
+/// computed once per site. Malformed DAGs (unbalanced shift pops) surface
+/// as [`CoreError::Codegen`] instead of panicking.
+pub fn render_ptx(plan: &CodegenPlan, expr: &Expr, kernel_name: &str) -> Result<String, CoreError> {
+    let g = PtxGen::new(kernel_name, &plan.env, &plan.leaves);
     let mut cx = GenCtx::new(&plan.leaves);
-    let v = gen_expr(expr, &mut g, &mut cx);
-    store_val(&mut g, &v);
-    emit_module(&Module::with_kernel(g.finish()))
+    let kernel = if plan.opt.dag_cse() {
+        let mut b = CseBackend::new(g);
+        let v = gen_expr(expr, &mut b, &mut cx);
+        store_val(&mut b, &v);
+        if let Some(f) = b.fault() {
+            return Err(CoreError::Codegen(f.to_string()));
+        }
+        b.into_inner().finish()
+    } else {
+        let mut b = g;
+        let v = gen_expr(expr, &mut b, &mut cx);
+        store_val(&mut b, &v);
+        if let Some(f) = b.fault() {
+            return Err(CoreError::Codegen(f.to_string()));
+        }
+        b.finish()
+    };
+    Ok(emit_module(&Module::with_kernel(kernel)))
 }
 
 /// Generate the PTX text the pipeline would run for `expr` into `target`
@@ -259,7 +294,7 @@ pub fn codegen_ptx(
     kernel_name: &str,
 ) -> Result<String, CoreError> {
     let plan = plan_codegen(ctx, target, expr, subset != Subset::All, false)?;
-    Ok(render_ptx(&plan, expr, kernel_name))
+    render_ptx(&plan, expr, kernel_name)
 }
 
 /// Evaluate `expr` into `target` over `subset` through the full QDP-JIT
@@ -339,11 +374,11 @@ pub fn eval_impl(
     let tel = ctx.telemetry();
     let span = tel.span("eval", "eval_expr").with_sim(ctx.device().now());
 
-    let ptx = ctx.ptx_for_key(&plan.key, || {
+    let ptx = ctx.try_ptx_for_key(&plan.key, || {
         let _cg = tel.span("eval", "codegen");
         render_ptx(&plan, expr, &plan.name)
-    });
-    let kernel = ctx.kernels().get_or_compile(&ptx)?;
+    })?;
+    let kernel = ctx.kernels().get_or_compile_opt(&ptx, plan.opt)?;
 
     // Page in the working set (target + all leaves) — the §IV walk.
     let mut ids = vec![target.id];
@@ -483,14 +518,26 @@ fn eval_reference_typed<R: Real>(
         .collect::<Result<_, _>>()?;
     let scalars = expr.scalar_values();
 
-    let results: Vec<(u32, Vec<(usize, R)>)> = parallel_map(sites.len(), |i| {
+    // The reference path runs through the same DAG-CSE wrapper as the
+    // generated kernel. Merged subexpressions are identical deterministic
+    // FP ops, so this is value-preserving in every rounding mode — results
+    // stay bit-identical whether either side has CSE on or off.
+    let results: Vec<Result<(u32, Vec<(usize, R)>), String>> = parallel_map(sites.len(), |i| {
         let s = sites[i];
-        let mut b = CpuGen::<R>::new(&data, &scalars, &geom, s as usize);
+        let cpu = CpuGen::<R>::new(&data, &scalars, &geom, s as usize);
+        let mut b = CseBackend::new(cpu);
         let mut cx = GenCtx::new(&leaves);
         let v = gen_expr(expr, &mut b, &mut cx);
         store_val(&mut b, &v);
-        (s, std::mem::take(&mut b.out))
+        if let Some(f) = b.fault() {
+            return Err(f.to_string());
+        }
+        Ok((s, b.into_inner().out))
     });
+    let results: Vec<(u32, Vec<(usize, R)>)> = results
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(CoreError::Codegen)?;
 
     let shape = TypeShape::of(target.kind);
     let layout = FieldLayout::new(ctx.layout(), vol, shape.n_reals());

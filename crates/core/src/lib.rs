@@ -26,6 +26,7 @@ pub mod field;
 pub mod multinode;
 
 pub use context::QdpContext;
+pub use qdp_ptx::opt::OptLevel;
 pub use eval::{
     codegen_ptx, eval_expr, eval_expr_sites, eval_reference, eval_reference_sites, plan_codegen,
     render_ptx, CodegenPlan, CoreError, EvalReport,
@@ -47,5 +48,6 @@ pub mod prelude {
     pub use qdp_expr::ShiftDir;
     pub use qdp_gpu_sim::DeviceConfig;
     pub use qdp_layout::{Geometry, LayoutKind, Subset};
+    pub use qdp_ptx::opt::OptLevel;
     pub use qdp_types::{Complex, FloatType, Real};
 }

@@ -12,7 +12,7 @@
 //!
 //! then commit the updated `.ptx` files with the change that caused them.
 
-use qdp_core::{codegen_ptx, QdpContext};
+use qdp_core::{codegen_ptx, OptLevel, QdpContext};
 use qdp_expr::{BinaryOp, Expr, FieldRef, ShiftDir, UnaryOp};
 use qdp_gpu_sim::DeviceConfig;
 use qdp_layout::{Geometry, LayoutKind, Subset};
@@ -34,6 +34,9 @@ fn env(ft: FloatType) -> Env {
         Geometry::new([4, 2, 2, 4]),
         LayoutKind::SoA,
     );
+    // Snapshots pin the *default-optimized* output; a stray QDP_OPT in the
+    // environment must not change what these tests compare against.
+    ctx.set_opt_level(Some(OptLevel::Default));
     let vol = ctx.geometry().vol();
     let reg = |kind: ElemKind| {
         let bytes = vol * TypeShape::of(kind).n_reals() * ft.size_bytes();

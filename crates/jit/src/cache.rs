@@ -5,8 +5,9 @@
 //! overhead of an HMC trajectory as "number of distinct kernels × 0.05–0.22
 //! seconds" (§III-D, §VIII-D). The cache key is a hash of the PTX text.
 
-use crate::lower::{compile_ptx, CompiledKernel, JitError};
+use crate::lower::{compile_ptx_opt, CompiledKernel, JitError};
 use qdp_gpu_sim::sync::Mutex;
+use qdp_ptx::opt::{OptLevel, OptStats};
 use qdp_telemetry::Telemetry;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -67,13 +68,32 @@ impl KernelCache {
         }
     }
 
-    /// Translate (or fetch) the single kernel in `ptx_text`.
+    /// Translate (or fetch) the single kernel in `ptx_text`, with the PTX
+    /// optimizer off.
     ///
     /// The text must contain exactly one `.entry` — the code generator
-    /// emits one module per expression, like the paper's.
+    /// emits one module per expression, like the paper's. Callers that
+    /// hand-build kernels (tests, benchmarks) get the text verbatim; the
+    /// expression pipeline goes through [`KernelCache::get_or_compile_opt`]
+    /// with its planned level instead.
     pub fn get_or_compile(&self, ptx_text: &str) -> Result<Arc<CompiledKernel>, JitError> {
+        self.get_or_compile_opt(ptx_text, OptLevel::None)
+    }
+
+    /// Translate (or fetch) the single kernel in `ptx_text` after running
+    /// the PTX optimizer at `level`.
+    ///
+    /// The cache key covers both the text and the optimizer configuration:
+    /// a process toggling `QDP_OPT` mid-run must not be served a kernel
+    /// compiled under the other setting.
+    pub fn get_or_compile_opt(
+        &self,
+        ptx_text: &str,
+        level: OptLevel,
+    ) -> Result<Arc<CompiledKernel>, JitError> {
         let mut h = DefaultHasher::new();
         ptx_text.hash(&mut h);
+        level.tag().hash(&mut h);
         let key = h.finish();
 
         let mut inner = self.inner.lock();
@@ -84,8 +104,8 @@ impl KernelCache {
             return Ok(k);
         }
         let t0 = Instant::now();
-        let mut kernels = match compile_ptx(ptx_text) {
-            Ok(k) => k,
+        let (mut kernels, opt_stats) = match compile_ptx_opt(ptx_text, level) {
+            Ok(r) => r,
             Err(e) => {
                 inner.stats.compile_errors += 1;
                 self.telemetry.record_compile_error();
@@ -110,7 +130,30 @@ impl KernelCache {
         drop(inner);
         self.telemetry
             .record_compile(&kernel.name, false, wall, modeled);
+        self.record_opt_stats(&opt_stats);
         Ok(kernel)
+    }
+
+    /// Report the optimizer's per-pass counters as `opt.*` telemetry (the
+    /// lines `QDP_PROFILE=1` prints under "counters").
+    fn record_opt_stats(&self, s: &OptStats) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        for (name, n) in [
+            ("opt.loads_eliminated", s.loads_eliminated),
+            ("opt.values_reused", s.values_reused),
+            ("opt.copies_propagated", s.copies_propagated),
+            ("opt.fmas_fused", s.fmas_fused),
+            ("opt.dead_removed", s.dead_removed),
+            ("opt.regs_freed", s.regs_freed),
+            ("opt.kernels_skipped", s.skipped),
+            ("opt.kernels_bailed", s.bailed),
+        ] {
+            if n > 0 {
+                self.telemetry.count(name, n as u64);
+            }
+        }
     }
 
     /// Number of distinct kernels translated so far.
@@ -197,6 +240,56 @@ mod tests {
         assert_eq!(report.counter("jit.compile_errors"), 2);
         assert_eq!(report.jit.compile_errors, 2);
         assert_eq!(report.jit.misses, 1);
+    }
+
+    #[test]
+    fn opt_level_is_part_of_cache_key() {
+        // A kernel the optimizer actually changes: two loads from the same
+        // address. Compiling the same text at opt-off and opt-on must
+        // produce two distinct cache entries — otherwise a process toggling
+        // QDP_OPT mid-run would be served a stale kernel.
+        let mut b = KernelBuilder::new("k_optkey");
+        b.param("p", PtxType::U64);
+        let addr = b.ld_param("p", PtxType::U64);
+        let x = b.fresh_for(PtxType::F64);
+        let y = b.fresh_for(PtxType::F64);
+        for dst in [x, y] {
+            b.push(qdp_ptx::Inst::LdGlobal {
+                ty: PtxType::F64,
+                dst,
+                addr,
+                offset: 0,
+            });
+        }
+        let s = b.bin(qdp_ptx::BinOp::Add, PtxType::F64, x.into(), y.into());
+        b.push(qdp_ptx::Inst::StGlobal {
+            ty: PtxType::F64,
+            addr,
+            offset: 8,
+            src: s.into(),
+        });
+        let text = emit_module(&Module::with_kernel(b.finish()));
+
+        let cache = KernelCache::new();
+        let plain = cache.get_or_compile_opt(&text, OptLevel::None).unwrap();
+        let opt = cache.get_or_compile_opt(&text, OptLevel::Default).unwrap();
+        assert_eq!(cache.len(), 2, "same text, different opt level, two entries");
+        assert_eq!(cache.stats().misses, 2);
+        assert!(!Arc::ptr_eq(&plain, &opt));
+        assert!(
+            opt.read_bytes < plain.read_bytes,
+            "optimized kernel reads less ({} vs {})",
+            opt.read_bytes,
+            plain.read_bytes
+        );
+        // Each level hits its own entry afterwards.
+        let again = cache.get_or_compile_opt(&text, OptLevel::Default).unwrap();
+        assert!(Arc::ptr_eq(&opt, &again));
+        assert_eq!(cache.stats().hits, 1);
+        // The legacy entry point is the opt-off configuration.
+        let legacy = cache.get_or_compile(&text).unwrap();
+        assert!(Arc::ptr_eq(&plain, &legacy));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub use autotune::AutoTuner;
 pub use cache::{KernelCache, KernelCacheStats};
 pub use exec::{run_grid, LaunchArg};
 pub use launch::{launch_tuned, LaunchOutcome};
-pub use lower::{compile_ptx, lower_kernel, CompiledKernel, JitError};
+pub use lower::{compile_ptx, compile_ptx_opt, lower_kernel, CompiledKernel, JitError};

@@ -9,6 +9,7 @@
 
 use qdp_ptx::inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
 use qdp_ptx::module::Kernel;
+use qdp_ptx::opt::{OptLevel, OptStats};
 use qdp_ptx::types::{PtxType, Reg, RegClass};
 use qdp_ptx::PtxError;
 use std::collections::HashMap;
@@ -608,6 +609,29 @@ pub fn compile_ptx(text: &str) -> Result<Vec<CompiledKernel>, JitError> {
     let module = qdp_ptx::parse::parse_module(text)?;
     module.validate()?;
     module.kernels.iter().map(lower_kernel).collect()
+}
+
+/// Like [`compile_ptx`], but runs the PTX peephole optimizer between
+/// validation and lowering (the slot the paper's driver JIT optimizes in,
+/// Fig. 2). Returns the per-pass statistics alongside the kernels.
+///
+/// `optimize_module` never produces an invalid module — kernels violating
+/// the optimizer's preconditions are skipped and post-optimization
+/// validation failures revert the kernel — so the result always lowers
+/// whenever the unoptimized text would.
+pub fn compile_ptx_opt(
+    text: &str,
+    level: OptLevel,
+) -> Result<(Vec<CompiledKernel>, OptStats), JitError> {
+    let mut module = qdp_ptx::parse::parse_module(text)?;
+    module.validate()?;
+    let stats = qdp_ptx::opt::optimize_module(&mut module, level);
+    let kernels: Vec<CompiledKernel> = module
+        .kernels
+        .iter()
+        .map(lower_kernel)
+        .collect::<Result<_, _>>()?;
+    Ok((kernels, stats))
 }
 
 #[cfg(test)]

@@ -547,6 +547,70 @@ impl Inst {
         }
     }
 
+    /// Apply `f` to every register slot in this instruction — definitions,
+    /// uses, address registers, predicates and call arguments alike. Used by
+    /// the optimizer for substitution and register renumbering.
+    pub fn map_regs(&mut self, f: &mut impl FnMut(&mut Reg)) {
+        fn op(o: &mut Operand, f: &mut impl FnMut(&mut Reg)) {
+            if let Operand::Reg(r) = o {
+                f(r)
+            }
+        }
+        match self {
+            Inst::Label { .. } | Inst::Ret => {}
+            Inst::LdParam { dst, .. } | Inst::MovSpecial { dst, .. } => f(dst),
+            Inst::LdGlobal { dst, addr, .. } => {
+                f(dst);
+                f(addr);
+            }
+            Inst::StGlobal { addr, src, .. } => {
+                f(addr);
+                op(src, f);
+            }
+            Inst::Mov { dst, src, .. } | Inst::Unary { dst, src, .. } => {
+                f(dst);
+                op(src, f);
+            }
+            Inst::Cvt { dst, src, .. } => {
+                f(dst);
+                f(src);
+            }
+            Inst::Binary { dst, a, b, .. } | Inst::Setp { dst, a, b, .. } => {
+                f(dst);
+                op(a, f);
+                op(b, f);
+            }
+            Inst::MulWide { dst, a, b, .. } => {
+                f(dst);
+                f(a);
+                op(b, f);
+            }
+            Inst::MadLo { dst, a, b, c, .. } | Inst::Fma { dst, a, b, c, .. } => {
+                f(dst);
+                op(a, f);
+                op(b, f);
+                op(c, f);
+            }
+            Inst::Selp { dst, a, b, pred, .. } => {
+                f(dst);
+                op(a, f);
+                op(b, f);
+                f(pred);
+            }
+            Inst::Bra { pred, .. } => {
+                if let Some((p, _)) = pred {
+                    f(p)
+                }
+            }
+            Inst::Call { dst, args, .. } => {
+                f(dst);
+                for a in args {
+                    f(a)
+                }
+            }
+        }
+    }
+
     /// Is this a global memory access, and how many bytes does it move?
     /// Used by the device performance model to count kernel traffic.
     pub fn global_bytes(&self) -> Option<(bool, usize)> {

@@ -24,11 +24,13 @@
 pub mod emit;
 pub mod inst;
 pub mod module;
+pub mod opt;
 pub mod parse;
 pub mod types;
 
 pub use inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
 pub use module::{Kernel, KernelBuilder, Module, Param};
+pub use opt::{optimize_kernel, optimize_module, OptLevel, OptStats};
 pub use types::{PtxType, Reg, RegClass};
 
 /// Errors produced while building, validating or parsing PTX.
