@@ -1,0 +1,27 @@
+// TEMP review repro — not part of the PR.
+use qdp_ptx::opt::{optimize_module, OptLevel};
+
+#[test]
+fn self_mov_does_not_hang() {
+    let text = r#"
+.version 3.1
+.target sm_35
+.visible .entry k(
+	.param .u64 p
+)
+{
+	.reg .f64 %fd<2>;
+	.reg .b64 %rd<1>;
+	ld.param.u64 %rd0, [p];
+	mov.f64 %fd0, %fd0;
+	add.f64 %fd1, %fd0, %fd0;
+	st.global.f64 [%rd0+0], %fd1;
+	ret;
+}
+"#;
+    let mut module = qdp_ptx::parse::parse_module(text).expect("parses");
+    module.validate().expect("validates");
+    let stats = optimize_module(&mut module, OptLevel::Aggressive);
+    eprintln!("stats: {stats:?}");
+    module.validate().expect("still valid");
+}
