@@ -33,22 +33,47 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "ok: no registry dependencies in any Cargo.toml"
 
+# ---- Guard: no in-tree callers of the deprecated compile/eval API ----------
+# `CompileRequest` and `eval(…, &EvalParams)` are the only supported entry
+# points; the deprecated shims (`get_or_compile*`, `eval_expr*`) exist only
+# for downstream transition and for the equivalence tests that pin the
+# shims to the unified path.
+allow='crates/jit/src/cache\.rs|crates/core/src/eval\.rs|crates/core/src/lib\.rs|crates/core/tests/streams\.rs'
+stale=$(grep -rnE '(get_or_compile(_opt)?|eval_expr(_sites)?)\s*\(' --include='*.rs' crates examples \
+    | grep -vE "^($allow):" || true)
+if [ -n "$stale" ]; then
+    echo "FAIL: deprecated compile/eval API used outside the shim whitelist:" >&2
+    echo "$stale" >&2
+    exit 1
+fi
+echo "ok: no in-tree callers of the deprecated compile/eval API"
+
 # ---- Tier-1 gate, offline --------------------------------------------------
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# ---- Stream engine: semantics + schedule tests ------------------------------
+# Default-stream equivalence with the pre-stream clock model (bit-exact),
+# event ordering, two-stream determinism, and the §V stream schedule beating
+# the legacy hand model.
+cargo test -q --offline -p qdp-core --test streams --test multirank
+echo "ok: stream-engine semantics + schedule tests"
+
 # ---- Telemetry smoke: profile + Chrome trace on a real workload ------------
 # Run the Wilson-dslash example with the profiler and tracer on, then verify
 # the trace with the in-tree checker: the file must exist, parse as Chrome
-# trace JSON, and contain at least one device kernel event.
+# trace JSON, and contain at least one device kernel event. The CG solver
+# issues its two dslash checkerboards on separate streams, so the trace
+# must show kernel launches on >= 3 distinct device-stream tracks (default
+# + dslash-even + dslash-odd).
 trace=/tmp/qdp_ci_trace.json
 rm -f "$trace"
 QDP_PROFILE=1 QDP_TRACE="$trace" \
     cargo run --release --offline --example wilson_dslash >/dev/null
 cargo run --release --offline -p qdp-telemetry --bin trace_check -- \
-    "$trace" --min-kernel-events 1
+    "$trace" --min-kernel-events 1 --min-streams 3
 rm -f "$trace"
-echo "ok: telemetry profile + trace smoke"
+echo "ok: telemetry profile + multi-stream trace smoke"
 
 # ---- Conformance: JIT pipeline vs CPU reference ----------------------------
 # Fixed-seed differential sweeps (200 random expression DAGs per precision),
@@ -86,6 +111,8 @@ QDP_BENCH_JSON="$PWD/BENCH_framework.json" \
 test -s BENCH_framework.json
 grep -q '"dslash_sim_bandwidth_gbps_opt_off"' BENCH_framework.json
 grep -q '"dslash_sim_bandwidth_gbps_opt_on"' BENCH_framework.json
-echo "ok: framework bench recorded before/after optimizer bandwidth"
+grep -q '"overlap_traj_time_ms_legacy"' BENCH_framework.json
+grep -q '"overlap_traj_time_ms_stream"' BENCH_framework.json
+echo "ok: framework bench recorded optimizer before/after + overlap legacy-vs-stream rows"
 
-echo "ci.sh: all green (offline build + workspace tests + telemetry smoke + conformance + optimizer + bench)"
+echo "ci.sh: all green (offline build + workspace tests + stream engine + telemetry smoke + conformance + optimizer + bench)"

@@ -71,7 +71,7 @@ fn bench_jit_translate(c: &mut Harness) {
     c.bench_function("jit_parse_and_lower_400_inst", |b| {
         b.iter_batched(
             KernelCache::new,
-            |cache| cache.get_or_compile(&text).unwrap(),
+            |cache| cache.compile(qdp_jit::CompileRequest::new(&text)).unwrap(),
             BatchSize::SmallInput,
         );
     });
@@ -152,6 +152,72 @@ fn bench_optimizer(c: &mut Harness) {
     ctx.set_opt_level(None);
 }
 
+/// §V overlap schedule: the two-rank boundary-split derivative evaluated
+/// under the legacy single-clock hand model and under the two-stream
+/// engine (gather/exchange on the comm stream, inner kernel on the
+/// compute stream). Records the modelled trajectory times side by side —
+/// `overlap_traj_time_ms_legacy` / `overlap_traj_time_ms_stream` — plus
+/// the gain, so the results JSON carries the comparison.
+fn bench_overlap(c: &mut Harness) {
+    // Compute-critical split (small faces): the schedules differ by where
+    // the inner kernel starts — at the fork (stream) vs after the sends
+    // are issued (legacy). Comm-bound splits tie the two schedules (both
+    // end on the halo-arrival → face-kernel chain).
+    fn trajectory_ms(streamed: bool) -> f64 {
+        let global = [8usize, 4, 4, 4];
+        let results = qdp_comm::run_cluster(
+            2,
+            qdp_comm::LinkModel::infiniband_qdr(),
+            move |handle| {
+                let decomp = qdp_layout::Decomposition::new(global, [2, 1, 1, 1]);
+                let rank = handle.rank;
+                let ctx = QdpContext::new(
+                    DeviceConfig::k20m_ecc_on(),
+                    decomp.local_geometry(),
+                    LayoutKind::SoA,
+                );
+                ctx.set_payload_execution(false);
+                let mr = qdp_core::multinode::MultiRank::new(
+                    Arc::clone(&ctx),
+                    decomp,
+                    handle,
+                    false,
+                    true,
+                );
+                mr.set_stream_schedule(streamed);
+                let mut rng = StdRng::seed_from_u64(11 + rank as u64);
+                let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |_| {
+                    PScalar(random_su3(&mut rng))
+                });
+                let psi = LatticeFermion::<f64>::from_fn(&ctx, |_| {
+                    PVector::from_fn(|_| {
+                        PVector::from_fn(|_| qdp_types::su3::gaussian_complex(&mut rng))
+                    })
+                });
+                let out = LatticeFermion::<f64>::new(&ctx);
+                let e = u.q() * shift(psi.q(), 0, ShiftDir::Forward)
+                    + shift(adj(u.q()) * psi.q(), 0, ShiftDir::Backward);
+                // warm up: compile, pin site lists, page the target
+                for _ in 0..2 {
+                    mr.eval(out.fref(), &e.0).unwrap();
+                }
+                let t0 = ctx.device().now();
+                let reps = 5;
+                for _ in 0..reps {
+                    mr.eval(out.fref(), &e.0).unwrap();
+                }
+                (ctx.device().now() - t0) / reps as f64
+            },
+        );
+        results.into_iter().fold(0.0f64, f64::max) * 1e3
+    }
+    let legacy = trajectory_ms(false);
+    let streamed = trajectory_ms(true);
+    c.record_value("overlap_traj_time_ms_legacy", legacy);
+    c.record_value("overlap_traj_time_ms_stream", streamed);
+    c.record_value("overlap_stream_gain_pct", 100.0 * (legacy / streamed - 1.0));
+}
+
 /// Reduction (norm2) end to end.
 fn bench_reduction(c: &mut Harness) {
     let ctx = setup_ctx(8);
@@ -170,4 +236,5 @@ fn main() {
     bench_cg_iteration(&mut h);
     bench_reduction(&mut h);
     bench_optimizer(&mut h);
+    bench_overlap(&mut h);
 }

@@ -100,13 +100,13 @@ pub fn diff_case(fx: &Fixture, expr: &Expr, sites: &SiteSel) -> Result<u64, Stri
     let run = || -> Result<(), String> {
         match sites {
             SiteSel::Subset(s) => {
-                qdp_core::eval_expr(&fx.ctx, jit_t, expr, *s)
+                qdp_core::eval(&fx.ctx, jit_t, expr, &qdp_core::EvalParams::new().subset(*s))
                     .map_err(|e| format!("jit eval failed: {e:?}"))?;
                 qdp_core::eval_reference(&fx.ctx, ref_t, expr, *s)
                     .map_err(|e| format!("reference eval failed: {e:?}"))?;
             }
             SiteSel::List(list) => {
-                qdp_core::eval_expr_sites(&fx.ctx, jit_t, expr, list)
+                qdp_core::eval(&fx.ctx, jit_t, expr, &qdp_core::EvalParams::new().sites(list))
                     .map_err(|e| format!("jit site-list eval failed: {e:?}"))?;
                 qdp_core::eval_reference_sites(&fx.ctx, ref_t, expr, list)
                     .map_err(|e| format!("reference site-list eval failed: {e:?}"))?;
@@ -144,14 +144,15 @@ pub fn opt_diff_case(fx: &Fixture, expr: &Expr, sites: &SiteSel) -> Result<u64, 
     let opt_t = fx.fresh_target(kind);
     let plain_t = fx.fresh_target(kind);
     let eval = |target, level| -> Result<(), String> {
-        fx.ctx.set_opt_level(Some(level));
-        let r = match sites {
-            SiteSel::Subset(s) => qdp_core::eval_expr(&fx.ctx, target, expr, *s)
-                .map_err(|e| format!("{level:?} eval failed: {e:?}")),
-            SiteSel::List(list) => qdp_core::eval_expr_sites(&fx.ctx, target, expr, list)
-                .map_err(|e| format!("{level:?} site-list eval failed: {e:?}")),
+        // per-eval optimizer override through the unified entry point — no
+        // context-level mutation needed
+        let params = match sites {
+            SiteSel::Subset(s) => qdp_core::EvalParams::new().subset(*s),
+            SiteSel::List(list) => qdp_core::EvalParams::new().sites(list),
         };
-        r.map(|_| ())
+        qdp_core::eval(&fx.ctx, target, expr, &params.opt_level(level))
+            .map(|_| ())
+            .map_err(|e| format!("{level:?} eval failed: {e:?}"))
     };
     let result = eval(opt_t, OptLevel::Default)
         .and_then(|()| eval(plain_t, OptLevel::None))

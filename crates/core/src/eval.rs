@@ -15,8 +15,8 @@ use crate::codegen::value::{gen_expr, store_val, GenCtx};
 use crate::context::QdpContext;
 use qdp_cache::CacheError;
 use qdp_expr::{Expr, FieldRef, ShiftDir, TypeError};
-use qdp_gpu_sim::{KernelShape, LaunchError};
-use qdp_jit::{launch_tuned, JitError, LaunchArg};
+use qdp_gpu_sim::{KernelShape, LaunchError, StreamId};
+use qdp_jit::{launch_tuned_on, CompileRequest, JitError, LaunchArg};
 use qdp_layout::{FieldLayout, LayoutKind, Subset};
 use qdp_ptx::emit::emit_module;
 use qdp_ptx::module::Module;
@@ -162,6 +162,102 @@ pub struct RemoteEnv {
     pub recv: std::collections::HashMap<(usize, qdp_expr::ShiftDir), Vec<qdp_gpu_sim::DevicePtr>>,
 }
 
+/// Which sites an [`EvalParams`] evaluation covers.
+#[derive(Debug, Clone, Copy)]
+pub enum SiteSpec<'a> {
+    /// A standard subset (All / Even / Odd).
+    Subset(Subset),
+    /// A host-side site list: uploaded as a device table for the launch and
+    /// freed afterwards. The user-facing route to non-contiguous subsets.
+    Sites(&'a [u32]),
+    /// A caller-managed device-resident site table (the inner/face
+    /// partitions of the overlap machinery, §V).
+    DeviceSites {
+        /// Device pointer to the u32 site list.
+        ptr: qdp_gpu_sim::DevicePtr,
+        /// Number of sites.
+        len: usize,
+    },
+}
+
+/// Parameters for one evaluation through [`eval`] — the single entry point
+/// the old `eval_expr` / `eval_expr_sites` / `eval_impl` trio collapsed
+/// into.
+///
+/// ```ignore
+/// eval(&ctx, target, &expr, &EvalParams::new())?;                        // all sites
+/// eval(&ctx, target, &expr, &EvalParams::new().subset(Subset::Even))?;   // subset
+/// eval(&ctx, target, &expr, &EvalParams::new().sites(&list))?;           // site list
+/// eval(&ctx, target, &expr, &EvalParams::new().stream(compute))?;        // stream-ordered
+/// ```
+///
+/// Defaults: all sites, the default stream, the context's optimizer level,
+/// no remote environment.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalParams<'a> {
+    sites: SiteSpec<'a>,
+    stream: StreamId,
+    opt_level: Option<OptLevel>,
+    remote: Option<&'a RemoteEnv>,
+}
+
+impl Default for EvalParams<'_> {
+    fn default() -> Self {
+        EvalParams::new()
+    }
+}
+
+impl<'a> EvalParams<'a> {
+    /// Default parameters: every site, default stream, context opt level.
+    pub fn new() -> EvalParams<'a> {
+        EvalParams {
+            sites: SiteSpec::Subset(Subset::All),
+            stream: StreamId::DEFAULT,
+            opt_level: None,
+            remote: None,
+        }
+    }
+
+    /// Evaluate over a standard subset.
+    pub fn subset(mut self, s: Subset) -> EvalParams<'a> {
+        self.sites = SiteSpec::Subset(s);
+        self
+    }
+
+    /// Evaluate over an explicit host-side site list (uploaded as a device
+    /// table for the launch, freed afterwards).
+    pub fn sites(mut self, sites: &'a [u32]) -> EvalParams<'a> {
+        self.sites = SiteSpec::Sites(sites);
+        self
+    }
+
+    /// Evaluate over a caller-managed device-resident site table.
+    pub fn device_sites(mut self, ptr: qdp_gpu_sim::DevicePtr, len: usize) -> EvalParams<'a> {
+        self.sites = SiteSpec::DeviceSites { ptr, len };
+        self
+    }
+
+    /// Order the launch (and any site-table upload) on `stream` instead of
+    /// the default stream, so independent evaluations overlap.
+    pub fn stream(mut self, s: StreamId) -> EvalParams<'a> {
+        self.stream = s;
+        self
+    }
+
+    /// Override the kernel optimizer level for this evaluation (instead of
+    /// the context's configured level).
+    pub fn opt_level(mut self, level: OptLevel) -> EvalParams<'a> {
+        self.opt_level = Some(level);
+        self
+    }
+
+    /// Attach the multi-rank remote-shift environment (§V overlap).
+    pub fn remote(mut self, r: &'a RemoteEnv) -> EvalParams<'a> {
+        self.remote = Some(r);
+        self
+    }
+}
+
 /// The codegen-facing description of one evaluation: environment, leaves,
 /// shift list, scalar flags and the structural key. Shared by the launch
 /// path, the golden-PTX snapshot tests and the conformance fuzzer so that
@@ -187,13 +283,27 @@ pub struct CodegenPlan {
     pub opt: OptLevel,
 }
 
-/// Build the codegen plan for evaluating `expr` into `target`.
+/// Build the codegen plan for evaluating `expr` into `target` at the
+/// context's configured optimizer level.
 pub fn plan_codegen(
     ctx: &QdpContext,
     target: FieldRef,
     expr: &Expr,
     subset_mapped: bool,
     remote_shifts: bool,
+) -> Result<CodegenPlan, CoreError> {
+    plan_codegen_at(ctx, target, expr, subset_mapped, remote_shifts, ctx.opt_level())
+}
+
+/// Build the codegen plan for evaluating `expr` into `target` at an
+/// explicit optimizer level (used by [`EvalParams::opt_level`] overrides).
+pub fn plan_codegen_at(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    subset_mapped: bool,
+    remote_shifts: bool,
+    opt: OptLevel,
 ) -> Result<CodegenPlan, CoreError> {
     let kind = expr.kind()?;
     if kind != target.kind {
@@ -223,7 +333,6 @@ pub fn plan_codegen(
     };
     // Structural key: expression structure + the codegen environment +
     // the optimizer configuration.
-    let opt = ctx.opt_level();
     let key = format!(
         "{}|v{}|{:?}|{}|m{}|r{}|t{:?}{}|{}",
         expr.kernel_key(),
@@ -297,57 +406,78 @@ pub fn codegen_ptx(
     render_ptx(&plan, expr, kernel_name)
 }
 
-/// Evaluate `expr` into `target` over `subset` through the full QDP-JIT
-/// pipeline (generated kernel on the simulated device).
+/// Evaluate `expr` into `target` through the full QDP-JIT pipeline
+/// (generated kernel on the simulated device), as described by `params` —
+/// site selection, stream, optimizer level and remote environment. This is
+/// the one evaluation entry point; see [`EvalParams`] for the knobs.
+pub fn eval(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    params: &EvalParams<'_>,
+) -> Result<EvalReport, CoreError> {
+    match params.sites {
+        SiteSpec::Subset(s) => eval_with(ctx, target, expr, SiteSel::Subset(s), params),
+        SiteSpec::DeviceSites { ptr, len } => {
+            eval_with(ctx, target, expr, SiteSel::List { ptr, len }, params)
+        }
+        SiteSpec::Sites(sites) => {
+            if sites.is_empty() {
+                return Ok(EvalReport::empty());
+            }
+            let vol = ctx.geometry().vol();
+            if let Some(bad) = sites.iter().find(|&&s| s as usize >= vol) {
+                return Err(CoreError::Msg(format!(
+                    "site {bad} out of range for volume {vol}"
+                )));
+            }
+            let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
+            let ptr = ctx
+                .device()
+                .alloc(bytes.len())
+                .map_err(|e| CoreError::Msg(format!("site-list table alloc failed: {e}")))?;
+            ctx.device().h2d_async(ptr, &bytes, params.stream);
+            let r = eval_with(
+                ctx,
+                target,
+                expr,
+                SiteSel::List {
+                    ptr,
+                    len: sites.len(),
+                },
+                params,
+            );
+            ctx.device().free(ptr);
+            r
+        }
+    }
+}
+
+/// Deprecated shim for [`eval`] over a subset.
+#[deprecated(note = "use eval(ctx, target, expr, &EvalParams::new().subset(subset))")]
 pub fn eval_expr(
     ctx: &QdpContext,
     target: FieldRef,
     expr: &Expr,
     subset: Subset,
 ) -> Result<EvalReport, CoreError> {
-    eval_impl(ctx, target, expr, SiteSel::Subset(subset), None)
+    eval(ctx, target, expr, &EvalParams::new().subset(subset))
 }
 
-/// Evaluate `expr` into `target` over an explicit host-side site list: the
-/// list is uploaded as a device table, the subset-mapped kernel runs over
-/// it, and the table is freed afterwards. This is the user-facing route to
-/// non-contiguous custom subsets.
+/// Deprecated shim for [`eval`] over a host-side site list.
+#[deprecated(note = "use eval(ctx, target, expr, &EvalParams::new().sites(sites))")]
 pub fn eval_expr_sites(
     ctx: &QdpContext,
     target: FieldRef,
     expr: &Expr,
     sites: &[u32],
 ) -> Result<EvalReport, CoreError> {
-    if sites.is_empty() {
-        return Ok(EvalReport::empty());
-    }
-    let vol = ctx.geometry().vol();
-    if let Some(bad) = sites.iter().find(|&&s| s as usize >= vol) {
-        return Err(CoreError::Msg(format!(
-            "site {bad} out of range for volume {vol}"
-        )));
-    }
-    let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
-    let ptr = ctx
-        .device()
-        .alloc(bytes.len())
-        .map_err(|e| CoreError::Msg(format!("site-list table alloc failed: {e}")))?;
-    ctx.device().h2d(ptr, &bytes);
-    let r = eval_impl(
-        ctx,
-        target,
-        expr,
-        SiteSel::List {
-            ptr,
-            len: sites.len(),
-        },
-        None,
-    );
-    ctx.device().free(ptr);
-    r
+    eval(ctx, target, expr, &EvalParams::new().sites(sites))
 }
 
-/// Full-control evaluation used by the multi-rank overlap machinery.
+/// Deprecated shim for [`eval`] with an explicit [`SiteSel`] and remote
+/// environment (the multi-rank overlap machinery's old entry point).
+#[deprecated(note = "use eval(ctx, target, expr, &EvalParams) with device_sites/remote")]
 pub fn eval_impl(
     ctx: &QdpContext,
     target: FieldRef,
@@ -355,6 +485,26 @@ pub fn eval_impl(
     sel: SiteSel,
     remote: Option<&RemoteEnv>,
 ) -> Result<EvalReport, CoreError> {
+    let mut params = match sel {
+        SiteSel::Subset(s) => EvalParams::new().subset(s),
+        SiteSel::List { ptr, len } => EvalParams::new().device_sites(ptr, len),
+    };
+    if let Some(r) = remote {
+        params = params.remote(r);
+    }
+    eval(ctx, target, expr, &params)
+}
+
+/// The launch path shared by every [`eval`] route.
+fn eval_with(
+    ctx: &QdpContext,
+    target: FieldRef,
+    expr: &Expr,
+    sel: SiteSel,
+    params: &EvalParams<'_>,
+) -> Result<EvalReport, CoreError> {
+    let remote = params.remote;
+    let stream = params.stream;
     if remote.is_some() && expr.has_nested_shift() {
         return Err(CoreError::Msg(
             "nested shifts must be materialised before multi-rank evaluation \
@@ -363,7 +513,8 @@ pub fn eval_impl(
         ));
     }
     let subset_mapped = !matches!(sel, SiteSel::Subset(Subset::All));
-    let plan = plan_codegen(ctx, target, expr, subset_mapped, remote.is_some())?;
+    let opt = params.opt_level.unwrap_or_else(|| ctx.opt_level());
+    let plan = plan_codegen_at(ctx, target, expr, subset_mapped, remote.is_some(), opt)?;
     let CodegenPlan {
         ref leaves,
         ref shifts,
@@ -372,13 +523,17 @@ pub fn eval_impl(
         ..
     } = plan;
     let tel = ctx.telemetry();
-    let span = tel.span("eval", "eval_expr").with_sim(ctx.device().now());
+    let span = tel
+        .span("eval", "eval_expr")
+        .with_sim(ctx.device().stream_now(stream));
 
     let ptx = ctx.try_ptx_for_key(&plan.key, || {
         let _cg = tel.span("eval", "codegen");
         render_ptx(&plan, expr, &plan.name)
     })?;
-    let kernel = ctx.kernels().get_or_compile_opt(&ptx, plan.opt)?;
+    let kernel = ctx
+        .kernels()
+        .compile(CompileRequest::new(&ptx).opt_level(plan.opt).name(&plan.name))?;
 
     // Page in the working set (target + all leaves) — the §IV walk.
     let mut ids = vec![target.id];
@@ -445,7 +600,7 @@ pub fn eval_impl(
         LayoutKind::SoA => 1,
         LayoutKind::AoS => plan.env.target_shape.n_reals(),
     };
-    let outcome = launch_tuned(
+    let outcome = launch_tuned_on(
         ctx.device(),
         ctx.tuner(),
         &kernel,
@@ -453,9 +608,10 @@ pub fn eval_impl(
         n_threads,
         site_stride,
         ctx.payload_execution(),
+        stream,
     )?;
     ctx.cache().mark_device_dirty(target.id)?;
-    span.end_with_sim(ctx.device().now());
+    span.end_with_sim(ctx.device().stream_now(stream));
 
     Ok(EvalReport {
         kernel_name: kernel.name.clone(),
@@ -573,7 +729,7 @@ pub fn eval_reference(
 }
 
 /// Reference evaluation over an arbitrary site list — the CPU-side twin of
-/// [`eval_expr_sites`]. Sites outside the local volume are rejected.
+/// [`eval`] with a site list. Sites outside the local volume are rejected.
 pub fn eval_reference_sites(
     ctx: &QdpContext,
     target: FieldRef,
@@ -662,7 +818,7 @@ pub fn sum_real(ctx: &QdpContext, expr: &Expr, subset: Subset) -> Result<f64, Co
         ft,
     };
     let r = (|| {
-        eval_expr(ctx, temp, expr, subset)?;
+        eval(ctx, temp, expr, &EvalParams::new().subset(subset))?;
         let s = reduce_device_sum(ctx, temp, 1)?;
         Ok(s[0])
     })();
@@ -688,7 +844,7 @@ pub fn sum_complex(
         ft,
     };
     let r = (|| {
-        eval_expr(ctx, temp, expr, subset)?;
+        eval(ctx, temp, expr, &EvalParams::new().subset(subset))?;
         let s = reduce_device_sum(ctx, temp, 2)?;
         Ok((s[0], s[1]))
     })();

@@ -229,12 +229,28 @@ impl<E: SiteElem> Lattice<E> {
     /// Evaluate an expression into this field over the whole lattice
     /// (the data-parallel assignment `lhs = rhs`).
     pub fn assign(&self, rhs: QExpr<E>) -> Result<EvalReport, CoreError> {
-        eval::eval_expr(&self.ctx, self.fref(), &rhs.0, Subset::All)
+        eval::eval(&self.ctx, self.fref(), &rhs.0, &eval::EvalParams::new())
     }
 
     /// Evaluate over a subset (`lhs[rb[cb]] = rhs`).
     pub fn assign_on(&self, subset: Subset, rhs: QExpr<E>) -> Result<EvalReport, CoreError> {
-        eval::eval_expr(&self.ctx, self.fref(), &rhs.0, subset)
+        eval::eval(
+            &self.ctx,
+            self.fref(),
+            &rhs.0,
+            &eval::EvalParams::new().subset(subset),
+        )
+    }
+
+    /// Evaluate with explicit [`eval::EvalParams`] — site selection,
+    /// stream, optimizer level. The stream-ordered route: assignments on
+    /// different streams overlap on the simulated device.
+    pub fn assign_with(
+        &self,
+        params: &eval::EvalParams<'_>,
+        rhs: QExpr<E>,
+    ) -> Result<EvalReport, CoreError> {
+        eval::eval(&self.ctx, self.fref(), &rhs.0, params)
     }
 
     /// Evaluate on the CPU reference path ("original implementation").

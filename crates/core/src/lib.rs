@@ -26,11 +26,16 @@ pub mod field;
 pub mod multinode;
 
 pub use context::QdpContext;
+pub use qdp_gpu_sim::{Event, StreamId};
 pub use qdp_ptx::opt::OptLevel;
 pub use eval::{
-    codegen_ptx, eval_expr, eval_expr_sites, eval_reference, eval_reference_sites, plan_codegen,
-    render_ptx, CodegenPlan, CoreError, EvalReport,
+    codegen_ptx, eval, eval_reference, eval_reference_sites, plan_codegen, plan_codegen_at,
+    render_ptx, CodegenPlan, CoreError, EvalParams, EvalReport, SiteSpec,
 };
+// Deprecated shims, re-exported so downstream code keeps compiling during
+// migration to `eval` + `EvalParams`.
+#[allow(deprecated)]
+pub use eval::{eval_expr, eval_expr_sites};
 pub use field::{
     adj, clover_mul, conj, cscale, diag_fill, expm, gamma, gamma_mu, imag, outer_color, real,
     reduce_inner_product,
@@ -43,10 +48,10 @@ pub use field::{
 /// The commonly needed names.
 pub mod prelude {
     pub use crate::context::QdpContext;
-    pub use crate::eval::{CoreError, EvalReport};
+    pub use crate::eval::{CoreError, EvalParams, EvalReport, SiteSpec};
     pub use crate::field::*;
     pub use qdp_expr::ShiftDir;
-    pub use qdp_gpu_sim::DeviceConfig;
+    pub use qdp_gpu_sim::{DeviceConfig, StreamId};
     pub use qdp_layout::{Geometry, LayoutKind, Subset};
     pub use qdp_ptx::opt::OptLevel;
     pub use qdp_types::{Complex, FloatType, Real};

@@ -12,11 +12,11 @@
 //! first — the paper executes them non-overlapping.
 
 use crate::context::QdpContext;
-use crate::eval::{self, CoreError, EvalReport, RemoteEnv, SiteSel};
+use crate::eval::{self, CoreError, EvalParams, EvalReport, RemoteEnv};
 use qdp_gpu_sim::sync::Mutex;
 use qdp_comm::cluster::RankHandle;
 use qdp_expr::{Expr, FieldRef, ShiftDir};
-use qdp_gpu_sim::DevicePtr;
+use qdp_gpu_sim::{DevicePtr, StreamId};
 use qdp_layout::{Decomposition, Dir, FieldLayout, Subset};
 use qdp_types::TypeShape;
 use std::collections::HashMap;
@@ -55,6 +55,18 @@ pub struct MultiRank {
     /// Overlap communication with inner-site computation (§V). When false,
     /// the whole lattice is evaluated after the exchange completes.
     pub overlap: bool,
+    /// Stream carrying gather kernels and the halo exchange.
+    pub comm_stream: StreamId,
+    /// Stream carrying the inner-site and face compute kernels.
+    pub compute_stream: StreamId,
+    /// Schedule the overlap window on real streams (gather + exchange on
+    /// `comm_stream`, inner kernel on `compute_stream`, event-wait before
+    /// the face kernel) instead of the legacy single-clock hand model.
+    /// Defaults on; `QDP_STREAM_OVERLAP=0` or [`set_stream_schedule`]
+    /// selects the legacy model (kept for bench comparison).
+    ///
+    /// [`set_stream_schedule`]: MultiRank::set_stream_schedule
+    stream_schedule: std::sync::atomic::AtomicBool,
     site_lists: Mutex<HashMap<String, (DevicePtr, usize)>>,
 }
 
@@ -70,6 +82,11 @@ impl MultiRank {
     ) -> MultiRank {
         let rank = handle.rank;
         handle.set_telemetry(Arc::clone(ctx.telemetry()));
+        let comm_stream = ctx.device().create_stream("comm");
+        let compute_stream = ctx.device().create_stream("compute");
+        let stream_schedule = std::env::var("QDP_STREAM_OVERLAP")
+            .map(|v| v != "0")
+            .unwrap_or(true);
         MultiRank {
             ctx,
             decomp,
@@ -77,12 +94,29 @@ impl MultiRank {
             handle,
             cuda_aware,
             overlap,
+            comm_stream,
+            compute_stream,
+            stream_schedule: std::sync::atomic::AtomicBool::new(stream_schedule),
             site_lists: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Upload (and cache) a site-list table.
-    fn site_list(&self, key: &str, sites: &[u32]) -> (DevicePtr, usize) {
+    /// Select between the stream-engine overlap schedule (true, the
+    /// default) and the legacy single-clock hand model (false).
+    pub fn set_stream_schedule(&self, on: bool) {
+        self.stream_schedule
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the §V overlap window runs on the two-stream schedule.
+    pub fn stream_schedule(&self) -> bool {
+        self.stream_schedule
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Upload (and cache) a site-list table; the upload is ordered on
+    /// `stream` (first call per key only — the table is pinned after that).
+    fn site_list(&self, key: &str, sites: &[u32], stream: StreamId) -> (DevicePtr, usize) {
         let mut map = self.site_lists.lock();
         if let Some(v) = map.get(key) {
             return *v;
@@ -93,7 +127,7 @@ impl MultiRank {
             .device()
             .alloc(bytes.len().max(4))
             .expect("device memory exhausted pinning site list");
-        self.ctx.device().h2d(ptr, &bytes);
+        self.ctx.device().h2d_async(ptr, &bytes, stream);
         map.insert(key.to_string(), (ptr, sites.len()));
         (ptr, sites.len())
     }
@@ -172,9 +206,10 @@ impl MultiRank {
             .filter(|&(mu, _)| self.decomp.is_split(mu))
             .collect();
         if split.is_empty() {
-            return eval::eval_expr(&self.ctx, target, expr, Subset::All);
+            return eval::eval(&self.ctx, target, expr, &EvalParams::new());
         }
 
+        let streamed = self.overlap && self.stream_schedule();
         let t_start = self.ctx.device().now();
         let geom = self.ctx.geometry().clone();
         let vol = geom.vol();
@@ -182,8 +217,27 @@ impl MultiRank {
         let device = self.ctx.device();
 
         // Make all leaves resident (the gather kernels read device data).
-        let leaf_ids: Vec<u64> = leaves.iter().map(|l| l.id).collect();
-        let leaf_ptrs = self.ctx.cache().assure_on_device(&leaf_ids)?;
+        // Under the stream schedule the target is paged in here too, so the
+        // synchronising default-stream §IV transfers are setup cost and the
+        // fork event below covers the whole working set.
+        let mut ids: Vec<u64> = leaves.iter().map(|l| l.id).collect();
+        if streamed {
+            ids.push(target.id);
+        }
+        let ptrs = self.ctx.cache().assure_on_device(&ids)?;
+        let leaf_ptrs = &ptrs[..leaves.len()];
+
+        // Fork: gathers + exchange go on the comm stream, kernels on the
+        // compute stream; neither may start before the working set is ready
+        // on the (synchronising) default stream.
+        let xfer_stream = if streamed {
+            let ready = device.record_event(StreamId::DEFAULT);
+            device.stream_wait_event(self.comm_stream, ready);
+            device.stream_wait_event(self.compute_stream, ready);
+            self.comm_stream
+        } else {
+            StreamId::DEFAULT
+        };
 
         let mut split_dims = [false; 4];
         for &(mu, _) in &split {
@@ -265,16 +319,16 @@ impl MultiRank {
                 double_precision: false,
             };
             device
-                .account_launch(&gather_shape, 128)
+                .account_launch_on(&gather_shape, 128, xfer_stream)
                 .map_err(CoreError::Launch)?;
 
             // Staged transfer: device → host before MPI (paper §V).
             if !self.cuda_aware {
-                device.advance_clock(device.transfer_time(payload.len()));
+                device.advance_stream(xfer_stream, device.transfer_time(payload.len()));
             }
-            let now = device.now();
+            let now = device.stream_now(xfer_stream);
             let t_after = self.handle.send(send_to, payload, now);
-            device.advance_clock_to(t_after);
+            device.advance_stream_to(xfer_stream, t_after);
             pending.push(((mu, dir), recv_from, gather_bytes));
         }
 
@@ -308,14 +362,13 @@ impl MultiRank {
             split.iter().map(|&(mu, d)| (mu, to_dir(d))).collect();
         let report;
 
-        let receive_all = |deadline_clock: &dyn Fn() -> f64| -> Result<(), CoreError> {
-            let _ = deadline_clock;
+        let receive_all = |st: StreamId| -> Result<(), CoreError> {
             for &((mu, dir), recv_from, _bytes) in &pending {
-                let now = device.now();
+                let now = device.stream_now(st);
                 let (data, arrival) = self.handle.recv(recv_from, now);
-                device.advance_clock_to(arrival);
+                device.advance_stream_to(st, arrival);
                 if !self.cuda_aware {
-                    device.advance_clock(device.transfer_time(data.len()));
+                    device.advance_stream(st, device.transfer_time(data.len()));
                 }
                 // scatter into the per-leaf receive buffers
                 if self.ctx.payload_execution() {
@@ -335,8 +388,58 @@ impl MultiRank {
             Ok(())
         };
 
-        if self.overlap {
-            // inner kernel while data is in flight — the §V overlap window
+        if streamed {
+            // The §V overlap window on real streams: the inner kernel runs
+            // on the compute stream while the exchange is in flight on the
+            // comm stream; an event-wait orders the face kernel after the
+            // halo has arrived. `sync` joins the timelines — the window
+            // costs max(compute, comm), not their sum.
+            let overlap_span = self
+                .ctx
+                .telemetry()
+                .span("comm", "overlap_window")
+                .with_sim(device.stream_now(self.comm_stream));
+            let key_inner = format!("inner{:?}", faces_for_inner);
+            let inner_sites = geom.inner_sites(&faces_for_inner);
+            let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites, self.compute_stream);
+            let inner_report = eval::eval(
+                &self.ctx,
+                target,
+                expr,
+                &EvalParams::new()
+                    .device_sites(ptr_i, len_i)
+                    .remote(&remote)
+                    .stream(self.compute_stream),
+            )?;
+            receive_all(self.comm_stream)?;
+            overlap_span.end_with_sim(device.stream_now(self.comm_stream));
+            let halo_done = device.record_event(self.comm_stream);
+            device.stream_wait_event(self.compute_stream, halo_done);
+            // face kernel after arrival
+            let key_face = format!("face{:?}", faces_for_inner);
+            let face_sites = geom.face_union(&faces_for_inner);
+            let (ptr_f, len_f) = self.site_list(&key_face, &face_sites, self.compute_stream);
+            let face_report = eval::eval(
+                &self.ctx,
+                target,
+                expr,
+                &EvalParams::new()
+                    .device_sites(ptr_f, len_f)
+                    .remote(&remote)
+                    .stream(self.compute_stream),
+            )?;
+            device.sync();
+            report = EvalReport {
+                kernel_name: inner_report.kernel_name,
+                block_size: inner_report.block_size,
+                sim_time: device.now() - t_start,
+                threads: len_i + len_f,
+                bandwidth: inner_report.bandwidth,
+                flops_rate: face_report.flops_rate,
+            };
+        } else if self.overlap {
+            // Legacy hand model: inner kernel while data is in flight, all
+            // accounted on the single default-stream clock.
             let overlap_span = self
                 .ctx
                 .telemetry()
@@ -344,26 +447,28 @@ impl MultiRank {
                 .with_sim(device.now());
             let key_inner = format!("inner{:?}", faces_for_inner);
             let inner_sites = geom.inner_sites(&faces_for_inner);
-            let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites);
-            let inner_report = eval::eval_impl(
+            let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites, StreamId::DEFAULT);
+            let inner_report = eval::eval(
                 &self.ctx,
                 target,
                 expr,
-                SiteSel::List { ptr: ptr_i, len: len_i },
-                Some(&remote),
+                &EvalParams::new()
+                    .device_sites(ptr_i, len_i)
+                    .remote(&remote),
             )?;
-            receive_all(&|| device.now())?;
+            receive_all(StreamId::DEFAULT)?;
             overlap_span.end_with_sim(device.now());
             // face kernel after arrival
             let key_face = format!("face{:?}", faces_for_inner);
             let face_sites = geom.face_union(&faces_for_inner);
-            let (ptr_f, len_f) = self.site_list(&key_face, &face_sites);
-            let face_report = eval::eval_impl(
+            let (ptr_f, len_f) = self.site_list(&key_face, &face_sites, StreamId::DEFAULT);
+            let face_report = eval::eval(
                 &self.ctx,
                 target,
                 expr,
-                SiteSel::List { ptr: ptr_f, len: len_f },
-                Some(&remote),
+                &EvalParams::new()
+                    .device_sites(ptr_f, len_f)
+                    .remote(&remote),
             )?;
             report = EvalReport {
                 kernel_name: inner_report.kernel_name,
@@ -374,13 +479,12 @@ impl MultiRank {
                 flops_rate: face_report.flops_rate,
             };
         } else {
-            receive_all(&|| device.now())?;
-            let full = eval::eval_impl(
+            receive_all(StreamId::DEFAULT)?;
+            let full = eval::eval(
                 &self.ctx,
                 target,
                 expr,
-                SiteSel::Subset(Subset::All),
-                Some(&remote),
+                &EvalParams::new().remote(&remote),
             )?;
             report = EvalReport {
                 sim_time: device.now() - t_start,

@@ -222,7 +222,8 @@ fn compare(fx: &Fixture, expr: &Expr, kind: ElemKind, subset: Subset) {
         .register(fx.ctx.geometry().vol() * qdp_types::TypeShape::of(kind).n_reals() * 8);
     let jit_t = qdp_expr::FieldRef { id: jit_id, kind, ft };
     let ref_t = qdp_expr::FieldRef { id: ref_id, kind, ft };
-    qdp_core::eval::eval_expr(&fx.ctx, jit_t, expr, subset).unwrap();
+    qdp_core::eval::eval(&fx.ctx, jit_t, expr, &qdp_core::EvalParams::new().subset(subset))
+        .unwrap();
     qdp_core::eval::eval_reference(&fx.ctx, ref_t, expr, subset).unwrap();
     // compare raw host bytes: bit-exact equality
     let a = fx.ctx.cache().with_host(jit_id, |h| h.to_vec()).unwrap();

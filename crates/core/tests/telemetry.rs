@@ -151,7 +151,9 @@ fn launch_failure_halving_is_visible_in_report() {
     let device = Device::with_telemetry(DeviceConfig::k20x_ecc_off(), Arc::clone(&tel));
     let tuner = AutoTuner::new(device.config().max_threads_per_block);
     let cache = KernelCache::with_telemetry(Arc::clone(&tel));
-    let k = cache.get_or_compile(&high_pressure_kernel()).unwrap();
+    let k = cache
+        .compile(qdp_jit::CompileRequest::new(&high_pressure_kernel()))
+        .unwrap();
     assert!(k.regs_per_thread > 150, "kernel must not fit at block 1024");
 
     let n = 4096usize;

@@ -1,10 +1,12 @@
-//! The simulated device: memory + clock + transfer engine + statistics.
+//! The simulated device: memory + stream timelines + transfer engine +
+//! statistics.
 
 use crate::config::DeviceConfig;
 use crate::memory::{DeviceMemory, DevicePtr};
 use crate::perf::{launch_timing, KernelShape, LaunchError, LaunchTiming};
-use crate::DeviceError;
+use crate::stream::{Event, StreamId, StreamTable};
 use crate::sync::Mutex;
+use crate::DeviceError;
 use qdp_telemetry::{Telemetry, Track};
 use std::sync::Arc;
 
@@ -29,10 +31,16 @@ pub struct DeviceStats {
 }
 
 /// A simulated CUDA device.
+///
+/// Time lives in a table of per-stream fronts (see [`crate::stream`]).
+/// The legacy single-clock API (`now` / `advance_clock` / `h2d` /
+/// `account_launch`) operates on the default stream, whose legacy-sync
+/// semantics make it arithmetically identical to the old global clock when
+/// no other stream carries work.
 pub struct Device {
     cfg: DeviceConfig,
     mem: DeviceMemory,
-    clock: Mutex<f64>,
+    streams: Mutex<StreamTable>,
     stats: Mutex<DeviceStats>,
     telemetry: Arc<Telemetry>,
 }
@@ -48,10 +56,11 @@ impl Device {
     /// (used by `QdpContext` so the whole stack shares one registry).
     pub fn with_telemetry(cfg: DeviceConfig, telemetry: Arc<Telemetry>) -> Device {
         let mem = DeviceMemory::new(cfg.memory_bytes);
+        telemetry.set_sim_thread_name(Track::Device, 0, "stream0 (default)");
         Device {
             cfg,
             mem,
-            clock: Mutex::new(0.0),
+            streams: Mutex::new(StreamTable::new()),
             stats: Mutex::new(DeviceStats::default()),
             telemetry,
         }
@@ -72,25 +81,84 @@ impl Device {
         &self.mem
     }
 
-    /// Current simulated time in seconds.
+    // --- streams & events --------------------------------------------------
+
+    /// Create a new stream whose timeline begins at the default stream's
+    /// current front. `name` labels the stream's Perfetto track in
+    /// `QDP_TRACE` output.
+    pub fn create_stream(&self, name: &str) -> StreamId {
+        let id = self.streams.lock().create(name);
+        self.telemetry
+            .set_sim_thread_name(Track::Device, id.0, name);
+        self.telemetry.count("stream.created", 1);
+        id
+    }
+
+    /// Number of streams on this device (including the default stream).
+    pub fn stream_count(&self) -> usize {
+        self.streams.lock().len()
+    }
+
+    /// Display name of a stream.
+    pub fn stream_name(&self, s: StreamId) -> String {
+        self.streams.lock().name(s).to_string()
+    }
+
+    /// Current front (simulated seconds) of stream `s` — the time its last
+    /// submitted operation completes.
+    pub fn stream_now(&self, s: StreamId) -> f64 {
+        self.streams.lock().front(s)
+    }
+
+    /// Account `dt` seconds of work on stream `s`; returns completion time.
+    pub fn advance_stream(&self, s: StreamId, dt: f64) -> f64 {
+        self.streams.lock().advance(s, dt)
+    }
+
+    /// Raise stream `s`'s front to at least `t` (stream-join semantics);
+    /// returns the new front.
+    pub fn advance_stream_to(&self, s: StreamId, t: f64) -> f64 {
+        self.streams.lock().advance_to(s, t)
+    }
+
+    /// Record an event capturing stream `s`'s current front.
+    pub fn record_event(&self, s: StreamId) -> Event {
+        let time = self.streams.lock().front(s);
+        self.telemetry.count("stream.events_recorded", 1);
+        Event { time, stream: s }
+    }
+
+    /// Make stream `s` wait for `ev`: raises its front to at least the
+    /// event's captured time. Returns the stream's (possibly unchanged)
+    /// front.
+    pub fn stream_wait_event(&self, s: StreamId, ev: Event) -> f64 {
+        self.telemetry.count("stream.event_waits", 1);
+        self.streams.lock().advance_to(s, ev.time)
+    }
+
+    /// Join every stream to the maximum front and return it — the simulated
+    /// `cudaDeviceSynchronize`.
+    pub fn sync(&self) -> f64 {
+        self.telemetry.count("stream.syncs", 1);
+        self.streams.lock().sync()
+    }
+
+    // --- legacy single-clock API (default stream) --------------------------
+
+    /// Current simulated time in seconds (the default stream's front).
     pub fn now(&self) -> f64 {
-        *self.clock.lock()
+        self.streams.lock().front(StreamId::DEFAULT)
     }
 
     /// Advance the simulated clock by `dt` seconds and return the new time.
+    /// Equivalent to accounting `dt` of work on the default stream.
     pub fn advance_clock(&self, dt: f64) -> f64 {
-        let mut c = self.clock.lock();
-        *c += dt.max(0.0);
-        *c
+        self.advance_stream(StreamId::DEFAULT, dt)
     }
 
     /// Advance the clock to at least `t` (stream-join semantics).
     pub fn advance_clock_to(&self, t: f64) -> f64 {
-        let mut c = self.clock.lock();
-        if t > *c {
-            *c = t;
-        }
-        *c
+        self.advance_stream_to(StreamId::DEFAULT, t)
     }
 
     /// Snapshot of the statistics.
@@ -113,22 +181,38 @@ impl Device {
         self.cfg.pcie_latency + bytes as f64 / self.cfg.pcie_bandwidth
     }
 
-    /// Copy host → device, advancing the clock by the PCIe model.
+    /// Copy host → device on the default stream.
     pub fn h2d(&self, dst: DevicePtr, src: &[u8]) -> f64 {
+        self.h2d_async(dst, src, StreamId::DEFAULT)
+    }
+
+    /// Copy device → host on the default stream.
+    pub fn d2h(&self, src: DevicePtr, dst: &mut [u8]) -> f64 {
+        self.d2h_async(src, dst, StreamId::DEFAULT)
+    }
+
+    /// Stream-ordered host → device copy: the data lands immediately (the
+    /// simulation is functional-first), the PCIe cost is accounted on
+    /// stream `s`'s timeline. Returns the completion time on that stream.
+    pub fn h2d_async(&self, dst: DevicePtr, src: &[u8], s: StreamId) -> f64 {
         self.mem.copy_from_host(dst, src);
         let dt = self.transfer_time(src.len());
         {
-            let mut s = self.stats.lock();
-            s.h2d_copies += 1;
-            s.h2d_bytes += src.len() as u64;
-            s.transfer_time += dt;
+            let mut st = self.stats.lock();
+            st.h2d_copies += 1;
+            st.h2d_bytes += src.len() as u64;
+            st.transfer_time += dt;
         }
-        let after = self.advance_clock(dt);
+        let after = self.advance_stream(s, dt);
         if self.telemetry.enabled() {
             self.telemetry.count("device.h2d_copies", 1);
             self.telemetry.count("device.h2d_bytes", src.len() as u64);
-            self.telemetry.record_sim_event(
+            if !s.is_default() {
+                self.telemetry.count("stream.h2d_async", 1);
+            }
+            self.telemetry.record_sim_event_on(
                 Track::Device,
+                s.0,
                 "xfer",
                 "h2d",
                 after - dt,
@@ -139,22 +223,26 @@ impl Device {
         after
     }
 
-    /// Copy device → host, advancing the clock by the PCIe model.
-    pub fn d2h(&self, src: DevicePtr, dst: &mut [u8]) -> f64 {
+    /// Stream-ordered device → host copy; see [`Device::h2d_async`].
+    pub fn d2h_async(&self, src: DevicePtr, dst: &mut [u8], s: StreamId) -> f64 {
         self.mem.copy_to_host(src, dst);
         let dt = self.transfer_time(dst.len());
         {
-            let mut s = self.stats.lock();
-            s.d2h_copies += 1;
-            s.d2h_bytes += dst.len() as u64;
-            s.transfer_time += dt;
+            let mut st = self.stats.lock();
+            st.d2h_copies += 1;
+            st.d2h_bytes += dst.len() as u64;
+            st.transfer_time += dt;
         }
-        let after = self.advance_clock(dt);
+        let after = self.advance_stream(s, dt);
         if self.telemetry.enabled() {
             self.telemetry.count("device.d2h_copies", 1);
             self.telemetry.count("device.d2h_bytes", dst.len() as u64);
-            self.telemetry.record_sim_event(
+            if !s.is_default() {
+                self.telemetry.count("stream.d2h_async", 1);
+            }
+            self.telemetry.record_sim_event_on(
                 Track::Device,
+                s.0,
                 "xfer",
                 "d2h",
                 after - dt,
@@ -165,22 +253,35 @@ impl Device {
         after
     }
 
-    /// Account a kernel launch: computes the simulated execution time for
-    /// `shape` at `block_size`, advances the clock, updates statistics.
-    /// The *functional* execution is performed by the JIT crate; this is the
-    /// timing half.
+    /// Account a kernel launch on the default stream.
     pub fn account_launch(
         &self,
         shape: &KernelShape,
         block_size: u32,
     ) -> Result<LaunchTiming, LaunchError> {
+        self.account_launch_on(shape, block_size, StreamId::DEFAULT)
+    }
+
+    /// Account a kernel launch on stream `s`: computes the simulated
+    /// execution time for `shape` at `block_size`, advances that stream's
+    /// front, updates statistics. The *functional* execution is performed
+    /// by the JIT crate; this is the timing half.
+    pub fn account_launch_on(
+        &self,
+        shape: &KernelShape,
+        block_size: u32,
+        s: StreamId,
+    ) -> Result<LaunchTiming, LaunchError> {
         let t = launch_timing(&self.cfg, shape, block_size)?;
         {
-            let mut s = self.stats.lock();
-            s.launches += 1;
-            s.kernel_time += t.time;
+            let mut st = self.stats.lock();
+            st.launches += 1;
+            st.kernel_time += t.time;
         }
-        self.advance_clock(t.time);
+        self.advance_stream(s, t.time);
+        if !s.is_default() {
+            self.telemetry.count("stream.async_launches", 1);
+        }
         Ok(t)
     }
 }
@@ -255,5 +356,51 @@ mod tests {
         assert!(d.account_launch(&shape, 1024).is_err());
         assert_eq!(d.now(), 0.0);
         assert_eq!(d.stats().launches, 0);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let d = Device::new(DeviceConfig::tiny(1 << 20));
+        let a = d.create_stream("comm");
+        let b = d.create_stream("compute");
+        d.advance_stream(a, 5e-3);
+        let ev = d.record_event(a);
+        assert_eq!(ev.time(), 5e-3);
+        assert_eq!(ev.stream(), a);
+        // b has done nothing: waiting pulls it up to the event.
+        assert_eq!(d.stream_wait_event(b, ev), 5e-3);
+        // Waiting on an already-passed event is a no-op.
+        d.advance_stream(b, 1e-3);
+        let early = d.record_event(a);
+        assert_eq!(d.stream_wait_event(b, early), 6e-3);
+    }
+
+    #[test]
+    fn sync_joins_all_streams_to_max_front() {
+        let d = Device::new(DeviceConfig::tiny(1 << 20));
+        let a = d.create_stream("a");
+        let b = d.create_stream("b");
+        d.advance_stream(a, 2e-3);
+        d.advance_stream(b, 7e-3);
+        assert_eq!(d.sync(), 7e-3);
+        assert_eq!(d.now(), 7e-3);
+        assert_eq!(d.stream_now(a), 7e-3);
+        assert_eq!(d.stream_count(), 3);
+    }
+
+    #[test]
+    fn async_copies_land_on_their_stream() {
+        let d = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = d.create_stream("copy");
+        let p = d.alloc(512).unwrap();
+        let data = vec![3u8; 512];
+        let t = d.h2d_async(p, &data, s);
+        assert_eq!(t, d.transfer_time(512));
+        // The async copy did not move the default stream.
+        assert_eq!(d.now(), 0.0);
+        let mut back = vec![0u8; 512];
+        d.d2h_async(p, &mut back, s);
+        assert_eq!(back, data);
+        assert_eq!(d.stream_now(s), 2.0 * d.transfer_time(512));
     }
 }

@@ -8,10 +8,12 @@
 //!   with 64-bit byte addresses exactly as they would address global memory;
 //! * a **copy engine** with a PCIe cost model for host↔device transfers
 //!   (the traffic the paper's software cache tries to minimise, §IV);
-//! * a **simulated clock** per device: kernel launches and copies advance
-//!   simulated time according to the performance model, so benchmark
-//!   harnesses report `GB/s` and `GFLOPS` figures with the same *shape* as
-//!   the paper's Figures 4–6;
+//! * **simulated stream timelines**: kernel launches and copies advance
+//!   simulated time on a per-stream front according to the performance
+//!   model (stream 0 is the legacy-synchronising default stream, so
+//!   single-stream code sees one global clock), letting independent work
+//!   overlap the way CUDA streams do; benchmark harnesses report `GB/s`
+//!   and `GFLOPS` figures with the same *shape* as the paper's Figures 4–6;
 //! * a **performance model** built from the published GK110 machine
 //!   parameters: occupancy from register pressure and block size,
 //!   latency-hiding via Little's law, wave quantisation, launch overhead,
@@ -26,12 +28,14 @@ pub mod device;
 pub mod memory;
 pub mod par;
 pub mod perf;
+pub mod stream;
 pub mod sync;
 
 pub use config::DeviceConfig;
 pub use device::{Device, DeviceStats};
 pub use memory::{DeviceMemory, DevicePtr};
 pub use perf::{KernelShape, LaunchError, LaunchTiming};
+pub use stream::{Event, StreamId};
 
 /// Errors from device operations.
 #[derive(Debug, Clone, PartialEq)]

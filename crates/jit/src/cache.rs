@@ -41,6 +41,55 @@ pub fn modeled_compile_time(n_instructions: usize) -> f64 {
     t.min(0.22)
 }
 
+/// One compile request: PTX text plus how to translate it. Built with the
+/// builder methods and handed to [`KernelCache::compile`]; this is the
+/// single entry point the old `get_or_compile` / `get_or_compile_opt` pair
+/// collapsed into.
+///
+/// ```ignore
+/// let k = cache.compile(CompileRequest::new(&ptx))?;                    // verbatim
+/// let k = cache.compile(CompileRequest::new(&ptx).opt_level(level))?;   // optimized
+/// let k = cache.compile(CompileRequest::new(&ptx).name("my_kernel"))?;  // checked
+/// ```
+///
+/// The default request translates the text **verbatim** (`OptLevel::None`):
+/// callers that hand-build kernels (tests, benchmarks, golden snapshots)
+/// get exactly the instructions they wrote. The expression pipeline opts in
+/// to the optimizer with [`CompileRequest::opt_level`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompileRequest<'a> {
+    ptx: &'a str,
+    opt_level: OptLevel,
+    name: Option<&'a str>,
+}
+
+impl<'a> CompileRequest<'a> {
+    /// A verbatim (no-opt, unchecked-name) request for `ptx`.
+    pub fn new(ptx: &'a str) -> CompileRequest<'a> {
+        CompileRequest {
+            ptx,
+            opt_level: OptLevel::None,
+            name: None,
+        }
+    }
+
+    /// Run the PTX optimizer at `level` before lowering. The cache key
+    /// covers the level: a process toggling `QDP_OPT` mid-run is never
+    /// served a kernel compiled under the other setting.
+    pub fn opt_level(mut self, level: OptLevel) -> CompileRequest<'a> {
+        self.opt_level = level;
+        self
+    }
+
+    /// Require the module's single `.entry` to be named `name`; a mismatch
+    /// is a [`JitError::Lower`]. Catches callers pairing a cached PTX text
+    /// with the wrong plan.
+    pub fn name(mut self, name: &'a str) -> CompileRequest<'a> {
+        self.name = Some(name);
+        self
+    }
+}
+
 /// A cache of JIT-translated kernels keyed on PTX text.
 #[derive(Default)]
 pub struct KernelCache {
@@ -68,43 +117,38 @@ impl KernelCache {
         }
     }
 
-    /// Translate (or fetch) the single kernel in `ptx_text`, with the PTX
-    /// optimizer off.
+    /// Translate (or fetch) the single kernel described by `req` — the one
+    /// compile entry point (see [`CompileRequest`]).
     ///
     /// The text must contain exactly one `.entry` — the code generator
-    /// emits one module per expression, like the paper's. Callers that
-    /// hand-build kernels (tests, benchmarks) get the text verbatim; the
-    /// expression pipeline goes through [`KernelCache::get_or_compile_opt`]
-    /// with its planned level instead.
-    pub fn get_or_compile(&self, ptx_text: &str) -> Result<Arc<CompiledKernel>, JitError> {
-        self.get_or_compile_opt(ptx_text, OptLevel::None)
-    }
-
-    /// Translate (or fetch) the single kernel in `ptx_text` after running
-    /// the PTX optimizer at `level`.
-    ///
-    /// The cache key covers both the text and the optimizer configuration:
-    /// a process toggling `QDP_OPT` mid-run must not be served a kernel
-    /// compiled under the other setting.
-    pub fn get_or_compile_opt(
-        &self,
-        ptx_text: &str,
-        level: OptLevel,
-    ) -> Result<Arc<CompiledKernel>, JitError> {
+    /// emits one module per expression, like the paper's. The cache key
+    /// covers both the text and the optimizer configuration.
+    pub fn compile(&self, req: CompileRequest<'_>) -> Result<Arc<CompiledKernel>, JitError> {
         let mut h = DefaultHasher::new();
-        ptx_text.hash(&mut h);
-        level.tag().hash(&mut h);
+        req.ptx.hash(&mut h);
+        req.opt_level.tag().hash(&mut h);
         let key = h.finish();
+
+        let check_name = |k: &CompiledKernel| -> Result<(), JitError> {
+            match req.name {
+                Some(want) if k.name != want => Err(JitError::Lower(format!(
+                    "compile request expected kernel `{want}`, module defines `{}`",
+                    k.name
+                ))),
+                _ => Ok(()),
+            }
+        };
 
         let mut inner = self.inner.lock();
         if let Some(k) = inner.map.get(&key).cloned() {
             inner.stats.hits += 1;
             drop(inner);
+            check_name(&k)?;
             self.telemetry.record_compile(&k.name, true, 0.0, 0.0);
             return Ok(k);
         }
         let t0 = Instant::now();
-        let (mut kernels, opt_stats) = match compile_ptx_opt(ptx_text, level) {
+        let (mut kernels, opt_stats) = match compile_ptx_opt(req.ptx, req.opt_level) {
             Ok(r) => r,
             Err(e) => {
                 inner.stats.compile_errors += 1;
@@ -122,6 +166,7 @@ impl KernelCache {
             )));
         }
         let kernel = Arc::new(kernels.remove(0));
+        check_name(&kernel)?;
         let modeled = modeled_compile_time(kernel.code.len());
         inner.stats.misses += 1;
         inner.stats.wall_compile_time += wall;
@@ -132,6 +177,24 @@ impl KernelCache {
             .record_compile(&kernel.name, false, wall, modeled);
         self.record_opt_stats(&opt_stats);
         Ok(kernel)
+    }
+
+    /// Deprecated shim for [`KernelCache::compile`] with a verbatim request.
+    #[deprecated(note = "use KernelCache::compile(CompileRequest::new(ptx))")]
+    pub fn get_or_compile(&self, ptx_text: &str) -> Result<Arc<CompiledKernel>, JitError> {
+        self.compile(CompileRequest::new(ptx_text))
+    }
+
+    /// Deprecated shim for [`KernelCache::compile`] with an explicit level.
+    #[deprecated(
+        note = "use KernelCache::compile(CompileRequest::new(ptx).opt_level(level))"
+    )]
+    pub fn get_or_compile_opt(
+        &self,
+        ptx_text: &str,
+        level: OptLevel,
+    ) -> Result<Arc<CompiledKernel>, JitError> {
+        self.compile(CompileRequest::new(ptx_text).opt_level(level))
     }
 
     /// Report the optimizer's per-pass counters as `opt.*` telemetry (the
@@ -189,8 +252,8 @@ mod tests {
     fn compile_once_hit_afterwards() {
         let cache = KernelCache::new();
         let text = tiny_ptx("k1");
-        let a = cache.get_or_compile(&text).unwrap();
-        let b = cache.get_or_compile(&text).unwrap();
+        let a = cache.compile(CompileRequest::new(&text)).unwrap();
+        let b = cache.compile(CompileRequest::new(&text)).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!(s.misses, 1);
@@ -201,8 +264,8 @@ mod tests {
     #[test]
     fn distinct_kernels_distinct_entries() {
         let cache = KernelCache::new();
-        cache.get_or_compile(&tiny_ptx("k1")).unwrap();
-        cache.get_or_compile(&tiny_ptx("k2")).unwrap();
+        cache.compile(CompileRequest::new(&tiny_ptx("k1"))).unwrap();
+        cache.compile(CompileRequest::new(&tiny_ptx("k2"))).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().misses, 2);
     }
@@ -220,7 +283,7 @@ mod tests {
     #[test]
     fn bad_ptx_is_an_error_not_a_cache_entry() {
         let cache = KernelCache::new();
-        assert!(cache.get_or_compile("nonsense").is_err());
+        assert!(cache.compile(CompileRequest::new("nonsense")).is_err());
         assert!(cache.is_empty());
     }
 
@@ -229,10 +292,10 @@ mod tests {
         let tel = Arc::new(Telemetry::new());
         tel.enable();
         let cache = KernelCache::with_telemetry(Arc::clone(&tel));
-        assert!(cache.get_or_compile("not ptx at all").is_err());
-        assert!(cache.get_or_compile("also not ptx").is_err());
+        assert!(cache.compile(CompileRequest::new("not ptx at all")).is_err());
+        assert!(cache.compile(CompileRequest::new("also not ptx")).is_err());
         // good kernel afterwards still works and is not an error
-        cache.get_or_compile(&tiny_ptx("ok")).unwrap();
+        cache.compile(CompileRequest::new(&tiny_ptx("ok"))).unwrap();
         let s = cache.stats();
         assert_eq!(s.compile_errors, 2);
         assert_eq!(s.misses, 1);
@@ -271,8 +334,10 @@ mod tests {
         let text = emit_module(&Module::with_kernel(b.finish()));
 
         let cache = KernelCache::new();
-        let plain = cache.get_or_compile_opt(&text, OptLevel::None).unwrap();
-        let opt = cache.get_or_compile_opt(&text, OptLevel::Default).unwrap();
+        let plain = cache.compile(CompileRequest::new(&text)).unwrap();
+        let opt = cache
+            .compile(CompileRequest::new(&text).opt_level(OptLevel::Default))
+            .unwrap();
         assert_eq!(cache.len(), 2, "same text, different opt level, two entries");
         assert_eq!(cache.stats().misses, 2);
         assert!(!Arc::ptr_eq(&plain, &opt));
@@ -283,13 +348,71 @@ mod tests {
             plain.read_bytes
         );
         // Each level hits its own entry afterwards.
-        let again = cache.get_or_compile_opt(&text, OptLevel::Default).unwrap();
+        let again = cache
+            .compile(CompileRequest::new(&text).opt_level(OptLevel::Default))
+            .unwrap();
         assert!(Arc::ptr_eq(&opt, &again));
         assert_eq!(cache.stats().hits, 1);
-        // The legacy entry point is the opt-off configuration.
+        // The deprecated shim routes to the opt-off configuration.
+        #[allow(deprecated)]
         let legacy = cache.get_or_compile(&text).unwrap();
         assert!(Arc::ptr_eq(&plain, &legacy));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn verbatim_request_never_rewrites_hand_built_kernels() {
+        // Same two-load kernel the opt-key test uses: the optimizer *would*
+        // eliminate the second load, so a default (verbatim) request must
+        // come back identical to a direct no-opt translation.
+        let mut b = KernelBuilder::new("k_verbatim");
+        b.param("p", PtxType::U64);
+        let addr = b.ld_param("p", PtxType::U64);
+        let x = b.fresh_for(PtxType::F64);
+        let y = b.fresh_for(PtxType::F64);
+        for dst in [x, y] {
+            b.push(qdp_ptx::Inst::LdGlobal {
+                ty: PtxType::F64,
+                dst,
+                addr,
+                offset: 0,
+            });
+        }
+        let s = b.bin(qdp_ptx::BinOp::Add, PtxType::F64, x.into(), y.into());
+        b.push(qdp_ptx::Inst::StGlobal {
+            ty: PtxType::F64,
+            addr,
+            offset: 8,
+            src: s.into(),
+        });
+        let text = emit_module(&Module::with_kernel(b.finish()));
+
+        let cache = KernelCache::new();
+        let verbatim = cache.compile(CompileRequest::new(&text)).unwrap();
+        let (direct, _) = compile_ptx_opt(&text, OptLevel::None).unwrap();
+        assert_eq!(verbatim.code.len(), direct[0].code.len());
+        assert_eq!(verbatim.read_bytes, direct[0].read_bytes);
+        let opt = cache
+            .compile(CompileRequest::new(&text).opt_level(OptLevel::Default))
+            .unwrap();
+        assert!(
+            opt.read_bytes < verbatim.read_bytes,
+            "sanity: the optimizer does change this kernel"
+        );
+    }
+
+    #[test]
+    fn name_mismatch_is_an_error() {
+        let cache = KernelCache::new();
+        let text = tiny_ptx("k_named");
+        assert!(cache
+            .compile(CompileRequest::new(&text).name("k_named"))
+            .is_ok());
+        // Checked on the hit path too.
+        let err = cache
+            .compile(CompileRequest::new(&text).name("other"))
+            .unwrap_err();
+        assert!(format!("{err:?}").contains("other"));
     }
 
     #[test]
@@ -298,9 +421,9 @@ mod tests {
         tel.enable();
         let cache = KernelCache::with_telemetry(Arc::clone(&tel));
         let text = tiny_ptx("k_tel");
-        let k = cache.get_or_compile(&text).unwrap();
-        cache.get_or_compile(&text).unwrap();
-        cache.get_or_compile(&text).unwrap();
+        let k = cache.compile(CompileRequest::new(&text)).unwrap();
+        cache.compile(CompileRequest::new(&text)).unwrap();
+        cache.compile(CompileRequest::new(&text)).unwrap();
         let report = tel.profile_report();
         let row = report.kernel(&k.name).expect("kernel row");
         assert_eq!(row.jit_misses, 1);

@@ -6,7 +6,7 @@
 use crate::autotune::AutoTuner;
 use crate::exec::{run_grid, LaunchArg};
 use crate::lower::CompiledKernel;
-use qdp_gpu_sim::{Device, KernelShape, LaunchError, LaunchTiming};
+use qdp_gpu_sim::{Device, KernelShape, LaunchError, LaunchTiming, StreamId};
 
 /// Result of a tuned launch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,8 +34,9 @@ pub fn kernel_shape(kernel: &CompiledKernel, threads: usize, site_stride: usize)
 }
 
 /// Launch `kernel` over `threads` payload threads with auto-tuned block
-/// size. When `execute` is set, the payload is computed functionally in
-/// device memory; the simulated clock advances either way.
+/// size on the default stream. When `execute` is set, the payload is
+/// computed functionally in device memory; the simulated clock advances
+/// either way.
 pub fn launch_tuned(
     device: &Device,
     tuner: &AutoTuner,
@@ -45,13 +46,41 @@ pub fn launch_tuned(
     site_stride: usize,
     execute: bool,
 ) -> Result<LaunchOutcome, LaunchError> {
+    launch_tuned_on(
+        device,
+        tuner,
+        kernel,
+        args,
+        threads,
+        site_stride,
+        execute,
+        StreamId::DEFAULT,
+    )
+}
+
+/// Stream-ordered tuned launch: like [`launch_tuned`], but the simulated
+/// execution time is accounted on `stream`'s timeline, so launches on
+/// different streams overlap. The functional payload work still happens
+/// immediately (the simulation is functional-first); only *time* is
+/// stream-ordered.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_tuned_on(
+    device: &Device,
+    tuner: &AutoTuner,
+    kernel: &CompiledKernel,
+    args: &[LaunchArg],
+    threads: usize,
+    site_stride: usize,
+    execute: bool,
+    stream: StreamId,
+) -> Result<LaunchOutcome, LaunchError> {
     let shape = kernel_shape(kernel, threads, site_stride);
     let telemetry = device.telemetry();
     let mut failed = 0u32;
     loop {
         let block = tuner.block_for(&kernel.name);
         let trial = !tuner.is_settled(&kernel.name);
-        match device.account_launch(&shape, block) {
+        match device.account_launch_on(&shape, block, stream) {
             Ok(timing) => {
                 if execute {
                     let n_blocks = threads.div_ceil(block as usize) as u32;
@@ -64,10 +93,11 @@ pub fn launch_tuned(
                         block,
                         trial,
                         tuner.is_settled(&kernel.name),
-                        device.now() - timing.time,
+                        device.stream_now(stream) - timing.time,
                         timing.time,
                         shape.total_bytes() as u64,
                         shape.total_flops() as u64,
+                        stream.0,
                     );
                 }
                 return Ok(LaunchOutcome {
@@ -93,7 +123,7 @@ pub fn launch_tuned(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::KernelCache;
+    use crate::cache::{CompileRequest, KernelCache};
     use qdp_gpu_sim::DeviceConfig;
     use qdp_ptx::emit::emit_module;
     use qdp_ptx::inst::{BinOp, Inst, Operand};
@@ -152,7 +182,7 @@ mod tests {
         let device = Device::new(DeviceConfig::k20x_ecc_off());
         let tuner = AutoTuner::new(device.config().max_threads_per_block);
         let cache = KernelCache::new();
-        let k = cache.get_or_compile(&double_kernel(0)).unwrap();
+        let k = cache.compile(CompileRequest::new(&double_kernel(0))).unwrap();
 
         let n = 500usize;
         let p_in = device.alloc(n * 8).unwrap();
@@ -186,7 +216,7 @@ mod tests {
         let tuner = AutoTuner::new(device.config().max_threads_per_block);
         let cache = KernelCache::new();
         // ~100 f64 regs → 200 32-bit equivalents → needs block ≤ 65536/200 ≈ 327
-        let k = cache.get_or_compile(&double_kernel(90)).unwrap();
+        let k = cache.compile(CompileRequest::new(&double_kernel(90))).unwrap();
         assert!(k.regs_per_thread > 150);
 
         let n = 4096usize;
@@ -215,7 +245,7 @@ mod tests {
         let device = Device::new(DeviceConfig::k20x_ecc_off());
         let tuner = AutoTuner::new(device.config().max_threads_per_block);
         let cache = KernelCache::new();
-        let k = cache.get_or_compile(&double_kernel(0)).unwrap();
+        let k = cache.compile(CompileRequest::new(&double_kernel(0))).unwrap();
         let n = 100_000usize;
         let p_in = device.alloc(n * 8).unwrap();
         let p_out = device.alloc(n * 8).unwrap();

@@ -28,7 +28,7 @@ pub mod launch;
 pub mod lower;
 
 pub use autotune::AutoTuner;
-pub use cache::{KernelCache, KernelCacheStats};
+pub use cache::{CompileRequest, KernelCache, KernelCacheStats};
 pub use exec::{run_grid, LaunchArg};
-pub use launch::{launch_tuned, LaunchOutcome};
+pub use launch::{launch_tuned, launch_tuned_on, LaunchOutcome};
 pub use lower::{compile_ptx, compile_ptx_opt, lower_kernel, CompiledKernel, JitError};

@@ -301,6 +301,9 @@ fn lvn(kernel: &mut Kernel, stats: &mut OptStats) {
     for mut inst in kernel.body.drain(..) {
         inst.map_regs(&mut |r| {
             while let Some(s) = subst.get(r) {
+                if s == r {
+                    break;
+                }
                 *r = *s;
             }
         });
@@ -323,8 +326,12 @@ fn lvn(kernel: &mut Kernel, stats: &mut OptStats) {
                 // Copy propagation. The class guard matters: `mov` does not
                 // validate its source class, and rewriting a use to a
                 // register of another class would change which register
-                // file it reads.
-                subst.insert(*dst, *s);
+                // file it reads. A self-copy (`mov %r, %r`) is a plain
+                // no-op: dropping it is enough, and a dst→dst entry would
+                // cycle the substitution resolution above.
+                if s != dst {
+                    subst.insert(*dst, *s);
+                }
                 stats.copies_propagated += 1;
             }
             Inst::LdGlobal {

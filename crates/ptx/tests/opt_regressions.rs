@@ -1,0 +1,39 @@
+//! Optimizer crash/hang regressions: minimised kernels that once broke the
+//! peephole or DCE passes. Each case must terminate and leave the module
+//! valid at every optimizer level.
+
+use qdp_ptx::opt::{optimize_module, OptLevel};
+
+/// A self-copy (`mov.f64 %fd0, %fd0`) once sent copy-propagation chasing
+/// its own tail. The pass must treat it as a plain dead instruction: no
+/// hang, module stays valid.
+#[test]
+fn self_mov_does_not_hang() {
+    let text = r#"
+.version 3.1
+.target sm_35
+.visible .entry k(
+	.param .u64 p
+)
+{
+	.reg .f64 %fd<2>;
+	.reg .b64 %rd<1>;
+	ld.param.u64 %rd0, [p];
+	mov.f64 %fd0, %fd0;
+	add.f64 %fd1, %fd0, %fd0;
+	st.global.f64 [%rd0+0], %fd1;
+	ret;
+}
+"#;
+    let mut module = qdp_ptx::parse::parse_module(text).expect("parses");
+    module.validate().expect("validates");
+    for level in [OptLevel::None, OptLevel::Default, OptLevel::Aggressive] {
+        let mut m = module.clone();
+        optimize_module(&mut m, level);
+        m.validate().expect("still valid after optimize");
+    }
+    // and the store feeding off the self-mov must survive DCE
+    optimize_module(&mut module, OptLevel::Aggressive);
+    let out = qdp_ptx::emit::emit_module(&module);
+    assert!(out.contains("st.global.f64"), "store was wrongly eliminated:\n{out}");
+}

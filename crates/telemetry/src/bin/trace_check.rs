@@ -1,10 +1,12 @@
 //! CI validator for Chrome trace files emitted via `QDP_TRACE`.
 //!
-//! Usage: `trace_check <trace.json> [--min-kernel-events N]`
+//! Usage: `trace_check <trace.json> [--min-kernel-events N] [--min-streams N]`
 //!
 //! Exits non-zero if the file is missing, is not valid JSON, has no
-//! `traceEvents` array, or contains fewer than N (default 1) kernel-launch
-//! events (`cat == "kernel"`, `ph == "X"`).
+//! `traceEvents` array, contains fewer than N (default 1) kernel-launch
+//! events (`cat == "kernel"`, `ph == "X"`), or — with `--min-streams` —
+//! if kernel launches land on fewer than N distinct device-stream tracks
+//! (distinct `tid`s on the device process, pid 1).
 
 use qdp_telemetry::json;
 use std::process::ExitCode;
@@ -13,8 +15,9 @@ fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let path = args
         .next()
-        .ok_or("usage: trace_check <trace.json> [--min-kernel-events N]")?;
+        .ok_or("usage: trace_check <trace.json> [--min-kernel-events N] [--min-streams N]")?;
     let mut min_kernel_events = 1usize;
+    let mut min_streams = 0usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--min-kernel-events" => {
@@ -24,6 +27,12 @@ fn run() -> Result<(), String> {
                 min_kernel_events = n
                     .parse()
                     .map_err(|_| format!("bad --min-kernel-events value '{n}'"))?;
+            }
+            "--min-streams" => {
+                let n = args.next().ok_or("--min-streams needs a value")?;
+                min_streams = n
+                    .parse()
+                    .map_err(|_| format!("bad --min-streams value '{n}'"))?;
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -39,13 +48,21 @@ fn run() -> Result<(), String> {
 
     let mut kernel_events = 0usize;
     let mut span_events = 0usize;
+    let mut stream_tids = std::collections::BTreeSet::new();
     for ev in events {
         let ph = ev.get("ph").and_then(|p| p.as_str());
         if ph != Some("X") {
             continue;
         }
         match ev.get("cat").and_then(|c| c.as_str()) {
-            Some("kernel") => kernel_events += 1,
+            Some("kernel") => {
+                kernel_events += 1;
+                if ev.get("pid").and_then(|p| p.as_f64()) == Some(1.0) {
+                    if let Some(tid) = ev.get("tid").and_then(|t| t.as_f64()) {
+                        stream_tids.insert(tid as u64);
+                    }
+                }
+            }
             Some(_) => span_events += 1,
             None => {}
         }
@@ -56,9 +73,17 @@ fn run() -> Result<(), String> {
             "{path}: expected at least {min_kernel_events} kernel-launch event(s), found {kernel_events}"
         ));
     }
+    if stream_tids.len() < min_streams {
+        return Err(format!(
+            "{path}: expected kernel launches on at least {min_streams} device stream(s), found {} ({:?})",
+            stream_tids.len(),
+            stream_tids
+        ));
+    }
     println!(
-        "trace_check: {path} OK ({} events, {kernel_events} kernel launches, {span_events} other spans)",
-        events.len()
+        "trace_check: {path} OK ({} events, {kernel_events} kernel launches on {} stream(s), {span_events} other spans)",
+        events.len(),
+        stream_tids.len()
     );
     Ok(())
 }

@@ -124,6 +124,10 @@ struct Inner {
     spans: BTreeMap<String, SpanStat>,
     events: Vec<TraceEvent>,
     dropped_events: u64,
+    /// Display names for simulated-clock trace threads, keyed by
+    /// (track, tid) — one entry per device stream, written out as
+    /// `thread_name` metadata so each stream gets its own Perfetto track.
+    sim_thread_names: Vec<(Track, u32, String)>,
 }
 
 /// The telemetry registry. One instance is shared by a `QdpContext` and
@@ -295,7 +299,9 @@ impl Telemetry {
 
     /// Record one successful kernel launch. `trial` marks launches made
     /// while the auto-tuner was still probing; `settled` is the tuner state
-    /// after this launch; `sim_t0`/`sim_dur` are simulated-clock seconds.
+    /// after this launch; `sim_t0`/`sim_dur` are simulated-clock seconds;
+    /// `stream` is the device stream the launch was ordered on (trace
+    /// thread id on the device timeline — 0 for the default stream).
     #[allow(clippy::too_many_arguments)]
     pub fn record_launch(
         &self,
@@ -307,6 +313,7 @@ impl Telemetry {
         sim_dur: f64,
         bytes: u64,
         flops: u64,
+        stream: u32,
     ) {
         if !self.enabled() {
             return;
@@ -330,7 +337,7 @@ impl Telemetry {
                     name: kernel.to_string(),
                     cat: "kernel",
                     track: Track::Device,
-                    tid: 0,
+                    tid: stream,
                     ts_us: sim_t0 * 1e6,
                     dur_us: sim_dur * 1e6,
                     args: vec![
@@ -363,10 +370,27 @@ impl Telemetry {
 
     /// Record an event on a simulated-clock timeline (`Track::Device` for
     /// PCIe transfers, `Track::Comm` for MPI traffic). Times in simulated
-    /// seconds.
+    /// seconds. Lands on trace thread 0 (the default stream's track).
     pub fn record_sim_event(
         &self,
         track: Track,
+        cat: &'static str,
+        name: &str,
+        sim_t0: f64,
+        sim_dur: f64,
+        args: &[(&'static str, f64)],
+    ) {
+        self.record_sim_event_on(track, 0, cat, name, sim_t0, sim_dur, args)
+    }
+
+    /// Like [`Telemetry::record_sim_event`] but on an explicit trace thread
+    /// (`tid` = device stream id for `Track::Device` events), so each
+    /// stream renders as its own Perfetto track.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_sim_event_on(
+        &self,
+        track: Track,
+        tid: u32,
         cat: &'static str,
         name: &str,
         sim_t0: f64,
@@ -383,12 +407,31 @@ impl Telemetry {
                 name: name.to_string(),
                 cat,
                 track,
-                tid: 0,
+                tid,
                 ts_us: sim_t0 * 1e6,
                 dur_us: sim_dur * 1e6,
                 args: args.to_vec(),
             },
         );
+    }
+
+    /// Register a display name for a simulated-clock trace thread
+    /// (`(track, tid)` — e.g. a device stream). Written out as
+    /// `thread_name` metadata in the Chrome trace. Last registration wins.
+    pub fn set_sim_thread_name(&self, track: Track, tid: u32, name: &str) {
+        if !self.is_tracing() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner
+            .sim_thread_names
+            .iter_mut()
+            .find(|(t, i, _)| *t == track && *i == tid)
+        {
+            e.2 = name.to_string();
+        } else {
+            inner.sim_thread_names.push((track, tid, name.to_string()));
+        }
     }
 
     fn push_event(inner: &mut Inner, ev: TraceEvent) {
@@ -472,7 +515,12 @@ impl Telemetry {
     /// Write the recorded events as Chrome trace-event JSON to `path`.
     pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
         let inner = self.inner.lock();
-        trace::write_chrome_trace(path, &inner.events, inner.dropped_events)
+        trace::write_chrome_trace(
+            path,
+            &inner.events,
+            &inner.sim_thread_names,
+            inner.dropped_events,
+        )
     }
 
     /// Write the Chrome trace to the configured `QDP_TRACE` path, once.
@@ -560,7 +608,7 @@ mod tests {
         assert!(!t.enabled());
         t.count("x", 5);
         t.observe("h", 1.0);
-        t.record_launch("k", 128, false, true, 0.0, 1e-3, 100, 10);
+        t.record_launch("k", 128, false, true, 0.0, 1e-3, 100, 10, 0);
         {
             let _s = t.span("cat", "name");
         }
@@ -598,9 +646,9 @@ mod tests {
         t.record_compile("k1", false, 1e-4, 0.05);
         t.record_compile("k1", true, 0.0, 0.0);
         t.record_compile("k1", true, 0.0, 0.0);
-        t.record_launch("k1", 1024, true, false, 0.0, 1e-3, 1000, 500);
-        t.record_launch("k1", 512, true, true, 1e-3, 0.5e-3, 1000, 500);
-        t.record_launch("k1", 512, false, true, 1.5e-3, 0.5e-3, 1000, 500);
+        t.record_launch("k1", 1024, true, false, 0.0, 1e-3, 1000, 500, 0);
+        t.record_launch("k1", 512, true, true, 1e-3, 0.5e-3, 1000, 500, 0);
+        t.record_launch("k1", 512, false, true, 1.5e-3, 0.5e-3, 1000, 500, 0);
         t.record_launch_failure("k1", 1024);
         let r = t.profile_report();
         let k = r.kernel("k1").expect("kernel row");
@@ -643,7 +691,7 @@ mod tests {
         ));
         t.enable_trace(&path);
         assert!(t.is_tracing());
-        t.record_launch("k", 128, false, true, 0.0, 1e-3, 4096, 128);
+        t.record_launch("k", 128, false, true, 0.0, 1e-3, 4096, 128, 1);
         t.record_sim_event(Track::Comm, "comm", "send", 0.0, 1e-6, &[("bytes", 9.0)]);
         {
             let _s = t.span("eval", "eval_expr");

@@ -346,7 +346,7 @@ mod tests {
         let t = Telemetry::new();
         t.enable();
         t.record_compile("qdp_abc", false, 1e-3, 0.2);
-        t.record_launch("qdp_abc", 256, false, true, 0.0, 2e-3, 1_000_000, 10);
+        t.record_launch("qdp_abc", 256, false, true, 0.0, 2e-3, 1_000_000, 10, 0);
         t.count("cache.spill_bytes", 4096);
         t.gauge("device.mem_used", 1e6);
         t.observe("comm.send_s", 2e-6);

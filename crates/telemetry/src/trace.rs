@@ -79,10 +79,26 @@ fn write_process_name(out: &mut impl Write, p: u32, name: &str) -> std::io::Resu
     )
 }
 
+fn write_thread_name(
+    out: &mut impl Write,
+    p: u32,
+    tid: u32,
+    name: &str,
+) -> std::io::Result<()> {
+    write!(
+        out,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+        json::escape(name)
+    )
+}
+
 /// Serialise `events` to `path` as a Chrome trace-event JSON document.
+/// `thread_names` labels simulated-clock trace threads (device streams) so
+/// each stream renders as its own named Perfetto track.
 pub fn write_chrome_trace(
     path: &Path,
     events: &[TraceEvent],
+    thread_names: &[(Track, u32, String)],
     dropped: u64,
 ) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
@@ -93,6 +109,10 @@ pub fn write_chrome_trace(
     write_process_name(&mut out, 1, "device (simulated clock)")?;
     write!(out, ",")?;
     write_process_name(&mut out, 2, "comm (simulated clock)")?;
+    for (track, tid, name) in thread_names {
+        write!(out, ",")?;
+        write_thread_name(&mut out, pid(*track), *tid, name)?;
+    }
     for ev in events {
         write!(out, ",")?;
         write_event(&mut out, ev)?;
@@ -134,12 +154,17 @@ mod tests {
                 args: vec![],
             },
         ];
-        write_chrome_trace(&path, &events, 2).unwrap();
+        let names = vec![(Track::Device, 0u32, "stream0 (default)".to_string())];
+        write_chrome_trace(&path, &events, &names, 2).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let doc = json::parse(&text).unwrap();
         let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
-        // 3 metadata + 2 real events
-        assert_eq!(evs.len(), 5);
+        // 3 process + 1 thread metadata + 2 real events
+        assert_eq!(evs.len(), 6);
+        assert!(evs.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                && e.get("pid").and_then(|p| p.as_f64()) == Some(1.0)
+        }));
         let kernel_count = evs
             .iter()
             .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("kernel"))
