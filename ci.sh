@@ -101,6 +101,38 @@ cargo run --release --offline -p qdp-conformance --bin conformance -- \
     sweep --cases 200 --ft both --opt-diff
 echo "ok: optimizer conformance (QDP_OPT=1, QDP_OPT=0, opt-diff)"
 
+# ---- Persistent kernel cache: cold vs warm across processes ----------------
+# Two fresh processes share one QDP_CACHE_DIR. The first (cold) compiles,
+# optimizes and tunes the dslash kernel and persists the results; the
+# second (warm) must recompile nothing — zero JIT misses, zero optimizer
+# passes, zero tuner trials, >=1 persisted-kernel hit — and spend less
+# wall time in its first eval.
+cache_dir=$(mktemp -d)
+cold_out=$(QDP_CACHE_DIR="$cache_dir" \
+    cargo run --release --offline -p qdp-bench --bin persist_probe)
+warm_out=$(QDP_CACHE_DIR="$cache_dir" \
+    cargo run --release --offline -p qdp-bench --bin persist_probe)
+rm -rf "$cache_dir"
+probe_val() { echo "$2" | awk -v k="$1" '$1 == k { print $2 }'; }
+cold_wall=$(probe_val wall_first_eval_us "$cold_out")
+warm_wall=$(probe_val wall_first_eval_us "$warm_out")
+for check in "jit_misses 0" "opt_counters 0" "tuner_trials 0" "persist_corrupt 0"; do
+    k=${check% *}; want=${check#* }
+    got=$(probe_val "$k" "$warm_out")
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: warm persist_probe $k = $got (want $want)" >&2
+        echo "$warm_out" >&2
+        exit 1
+    fi
+done
+[ "$(probe_val persist_hits "$warm_out")" -ge 1 ]
+[ "$(probe_val tuner_seeded "$warm_out")" -ge 1 ]
+if ! awk -v c="$cold_wall" -v w="$warm_wall" 'BEGIN { exit !(w < c) }'; then
+    echo "FAIL: warm first eval (${warm_wall} us) not faster than cold (${cold_wall} us)" >&2
+    exit 1
+fi
+echo "ok: persistent kernel cache warm start (cold ${cold_wall} us -> warm ${warm_wall} us, zero warm compiles/opt passes/tuner trials)"
+
 # ---- Framework bench: optimizer before/after -------------------------------
 # The framework bench records the simulated dslash bandwidth with the
 # optimizer off and on; both rows must land in BENCH_framework.json (the
@@ -111,8 +143,10 @@ QDP_BENCH_JSON="$PWD/BENCH_framework.json" \
 test -s BENCH_framework.json
 grep -q '"dslash_sim_bandwidth_gbps_opt_off"' BENCH_framework.json
 grep -q '"dslash_sim_bandwidth_gbps_opt_on"' BENCH_framework.json
+grep -q '"dslash_eval_opt_on_cold"' BENCH_framework.json
+grep -q '"dslash_eval_opt_on_warm"' BENCH_framework.json
 grep -q '"overlap_traj_time_ms_legacy"' BENCH_framework.json
 grep -q '"overlap_traj_time_ms_stream"' BENCH_framework.json
-echo "ok: framework bench recorded optimizer before/after + overlap legacy-vs-stream rows"
+echo "ok: framework bench recorded optimizer before/after, cold/warm persist + overlap legacy-vs-stream rows"
 
-echo "ci.sh: all green (offline build + workspace tests + stream engine + telemetry smoke + conformance + optimizer + bench)"
+echo "ci.sh: all green (offline build + workspace tests + stream engine + telemetry smoke + conformance + optimizer + persist + bench)"

@@ -152,6 +152,93 @@ fn bench_optimizer(c: &mut Harness) {
     ctx.set_opt_level(None);
 }
 
+/// Persistent kernel store: first-eval latency of a brand-new context —
+/// the cold-start cost the store exists to kill. `cold` evaluates against
+/// an empty store directory (full codegen → parse → optimize → lower),
+/// `warm` against one populated by an earlier context (stored optimized
+/// PTX, no optimizer pass, seeded block size). Payload execution is off so
+/// the rows isolate the compilation pipeline.
+fn bench_persist(c: &mut Harness) {
+    use qdp_core::OptLevel;
+    use qdp_jit::KernelStore;
+    use qdp_telemetry::Telemetry;
+
+    let base = std::env::temp_dir().join(format!("qdp_bench_persist_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // The source fields ride along in the returned tuple: dropping a
+    // Lattice unregisters it from the software cache, which would turn the
+    // timed eval into an UnknownField error.
+    let dslash_into = |ctx: &Arc<QdpContext>| {
+        let u = LatticeColorMatrix::<f64>::new(ctx);
+        let psi = LatticeFermion::<f64>::new(ctx);
+        let out = LatticeFermion::<f64>::new(ctx);
+        let mut acc = None;
+        for mu in 0..4 {
+            let term = u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        let e = acc.unwrap();
+        (u, psi, out, e)
+    };
+    let fresh_ctx = |dir: &std::path::Path| {
+        std::fs::create_dir_all(dir).unwrap();
+        let tel = Arc::new(Telemetry::new());
+        let cfg = DeviceConfig::k20x_ecc_off();
+        let store = KernelStore::open(dir, &cfg.fingerprint(), Arc::clone(&tel));
+        let ctx = QdpContext::with_kernel_store(
+            cfg,
+            Geometry::symmetric(8),
+            LayoutKind::SoA,
+            tel,
+            Some(store),
+        );
+        ctx.set_opt_level(Some(OptLevel::Default));
+        ctx.set_payload_execution(false);
+        ctx
+    };
+
+    // Populate the warm directory once: compile and settle the tuner.
+    let warm_dir = base.join("warm");
+    {
+        let ctx = fresh_ctx(&warm_dir);
+        let (_u, _psi, out, e) = dslash_into(&ctx);
+        for _ in 0..16 {
+            out.assign(e.clone()).unwrap();
+        }
+    }
+
+    let mut n = 0u64;
+    c.bench_function("dslash_eval_opt_on_cold", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                let dir = base.join(format!("cold_{n}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                let ctx = fresh_ctx(&dir);
+                dslash_into(&ctx)
+            },
+            |(_u, _psi, out, e)| out.assign(e).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    c.bench_function("dslash_eval_opt_on_warm", |b| {
+        b.iter_batched(
+            || {
+                let ctx = fresh_ctx(&warm_dir);
+                dslash_into(&ctx)
+            },
+            |(_u, _psi, out, e)| out.assign(e).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// §V overlap schedule: the two-rank boundary-split derivative evaluated
 /// under the legacy single-clock hand model and under the two-stream
 /// engine (gather/exchange on the comm stream, inner kernel on the
@@ -236,5 +323,6 @@ fn main() {
     bench_cg_iteration(&mut h);
     bench_reduction(&mut h);
     bench_optimizer(&mut h);
+    bench_persist(&mut h);
     bench_overlap(&mut h);
 }

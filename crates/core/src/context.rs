@@ -6,7 +6,7 @@ use qdp_gpu_sim::sync::Mutex;
 use qdp_cache::MemoryCache;
 use qdp_expr::ShiftDir;
 use qdp_gpu_sim::{Device, DeviceConfig, DevicePtr};
-use qdp_jit::{AutoTuner, KernelCache};
+use qdp_jit::{AutoTuner, KernelCache, KernelStore};
 use qdp_layout::{Dir, Geometry, LayoutKind, Subset};
 use qdp_ptx::opt::OptLevel;
 use qdp_telemetry::{ProfileReport, Telemetry};
@@ -27,6 +27,7 @@ pub struct QdpContext {
     ptx_texts: Mutex<HashMap<String, Arc<str>>>,
     execute_payload: AtomicBool,
     opt_override: Mutex<Option<OptLevel>>,
+    store: Option<Arc<KernelStore>>,
 }
 
 impl QdpContext {
@@ -38,19 +39,37 @@ impl QdpContext {
     }
 
     /// Bring up a context whose whole stack (device, software cache, JIT
-    /// cache, launcher) records into `telemetry`.
+    /// cache, launcher) records into `telemetry`. The persistent kernel
+    /// store is configured from the environment (`QDP_CACHE_DIR` /
+    /// `QDP_CACHE` / `QDP_CACHE_CLEAR`); use
+    /// [`QdpContext::with_kernel_store`] to inject one directly in tests.
     pub fn with_telemetry(
         cfg: DeviceConfig,
         geom: Geometry,
         layout: LayoutKind,
         telemetry: Arc<Telemetry>,
     ) -> Arc<QdpContext> {
+        let store = KernelStore::from_env(&cfg.fingerprint(), &telemetry);
+        QdpContext::with_kernel_store(cfg, geom, layout, telemetry, store)
+    }
+
+    /// Bring up a context backed by an explicit persistent kernel store
+    /// (`None` disables persistence regardless of the environment). The
+    /// store's device fingerprint should be `cfg.fingerprint()` — a store
+    /// opened for a different device simply never hits.
+    pub fn with_kernel_store(
+        cfg: DeviceConfig,
+        geom: Geometry,
+        layout: LayoutKind,
+        telemetry: Arc<Telemetry>,
+        store: Option<Arc<KernelStore>>,
+    ) -> Arc<QdpContext> {
         let device = Arc::new(Device::with_telemetry(cfg, Arc::clone(&telemetry)));
         let max_block = device.config().max_threads_per_block;
         Arc::new(QdpContext {
             cache: MemoryCache::new(Arc::clone(&device)),
-            kernels: KernelCache::with_telemetry(telemetry),
-            tuner: AutoTuner::new(max_block),
+            kernels: KernelCache::with_store(telemetry, store.clone()),
+            tuner: AutoTuner::with_store(max_block, store.clone()),
             device,
             geom,
             layout,
@@ -59,6 +78,7 @@ impl QdpContext {
             ptx_texts: Mutex::new(HashMap::new()),
             execute_payload: AtomicBool::new(true),
             opt_override: Mutex::new(None),
+            store,
         })
     }
 
@@ -97,6 +117,12 @@ impl QdpContext {
     /// The block-size auto-tuner (paper §VII).
     pub fn tuner(&self) -> &AutoTuner {
         &self.tuner
+    }
+
+    /// The persistent kernel store backing the JIT cache and auto-tuner,
+    /// if one is active for this context.
+    pub fn kernel_store(&self) -> Option<&Arc<KernelStore>> {
+        self.store.as_ref()
     }
 
     /// Sub-grid geometry of this rank.

@@ -157,6 +157,55 @@ fn optimized_kernel_models_less_memory_traffic() {
 }
 
 #[test]
+fn optimizer_never_pessimizes_reported_dslash_bandwidth() {
+    // Regression guard: the optimizer reduces modelled memory traffic, so
+    // its reported streaming bandwidth must be no worse than opt-off. (It
+    // once *was* worse: bandwidth divided total bytes by total launch time
+    // including the constant launch overhead and occupancy ramp, so any
+    // traffic reduction mechanically deflated the metric even as the
+    // kernel got faster.)
+    use qdp_core::prelude::*;
+    use qdp_core::{adj, shift as qshift};
+    use qdp_rng::SeedableRng;
+    let ctx = QdpContext::k20x(Geometry::symmetric(4));
+    let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |_| {
+        qdp_types::PScalar(qdp_types::su3::random_su3(
+            &mut qdp_rng::StdRng::seed_from_u64(3),
+        ))
+    });
+    let psi = LatticeFermion::<f64>::new(&ctx);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    let dslash = || {
+        let mut acc = None;
+        for mu in 0..4 {
+            let term = u.q() * qshift(psi.q(), mu, ShiftDir::Forward)
+                + qshift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        acc.unwrap()
+    };
+    let mut bw = [0.0f64; 2];
+    for (i, level) in [OptLevel::None, OptLevel::Default].into_iter().enumerate() {
+        ctx.set_opt_level(Some(level));
+        // settle the tuner, then measure at the settled block size
+        for _ in 0..12 {
+            out.assign(dslash()).unwrap();
+        }
+        bw[i] = out.assign(dslash()).unwrap().bandwidth;
+    }
+    assert!(bw[0] > 0.0 && bw[1] > 0.0);
+    assert!(
+        bw[1] >= bw[0] * (1.0 - 1e-12),
+        "opt-on dslash bandwidth ({:.4} GB/s) fell below opt-off ({:.4} GB/s)",
+        bw[1] / 1e9,
+        bw[0] / 1e9
+    );
+}
+
+#[test]
 fn plan_key_carries_the_opt_level() {
     let e = env(FloatType::F32);
     let expr = wilson_dslash_expr(&e);

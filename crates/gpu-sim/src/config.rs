@@ -111,6 +111,44 @@ impl DeviceConfig {
             self.peak_flops_sp
         }
     }
+
+    /// Stable fingerprint of this configuration, used to scope persistent
+    /// kernel-store entries to the device they were compiled and tuned for.
+    /// Every field participates: two configs that differ in *any* knob —
+    /// even ones that only move the timing model — must not share tuned
+    /// block sizes, and a pool-size change (`tiny`) must not share compiled
+    /// kernels either. FNV-1a over the canonical field dump keeps the
+    /// digest stable across processes and toolchains (`DefaultHasher` is
+    /// not documented stable, so it is unusable on disk).
+    pub fn fingerprint(&self) -> String {
+        let canon = format!(
+            "{}|mem{}|sm{}|bw{:e}|sf{:e}|dp{:e}|sp{:e}|mtb{}|mts{}|mbs{}|regs{}|lo{:e}|lat{:e}|mlp{:e}|pcie{:e}|pl{:e}",
+            self.name,
+            self.memory_bytes,
+            self.n_sm,
+            self.peak_bandwidth,
+            self.sustained_fraction,
+            self.peak_flops_dp,
+            self.peak_flops_sp,
+            self.max_threads_per_block,
+            self.max_threads_per_sm,
+            self.max_blocks_per_sm,
+            self.regs_per_sm,
+            self.launch_overhead,
+            self.mem_latency,
+            self.mem_level_parallelism,
+            self.pcie_bandwidth,
+            self.pcie_latency,
+        );
+        // Local FNV-1a 64 (this crate sits below qdp-ptx in the workspace
+        // graph, so it cannot borrow the digest helper from there).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canon.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +179,30 @@ mod tests {
     fn tiny_device() {
         let t = DeviceConfig::tiny(4096);
         assert_eq!(t.memory_bytes, 4096);
+    }
+
+    #[test]
+    fn fingerprints_separate_configs() {
+        let a = DeviceConfig::k20x_ecc_off();
+        assert_eq!(a.fingerprint(), DeviceConfig::k20x_ecc_off().fingerprint());
+        // Every published variant and the test pool get distinct scopes.
+        let fps = [
+            a.fingerprint(),
+            DeviceConfig::k20m_ecc_on().fingerprint(),
+            DeviceConfig::xk_node_gpu().fingerprint(),
+            DeviceConfig::tiny(4096).fingerprint(),
+            DeviceConfig::tiny(8192).fingerprint(),
+        ];
+        for (i, x) in fps.iter().enumerate() {
+            assert_eq!(x.len(), 16);
+            for y in &fps[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+        // Timing-model-only changes also re-scope (tuned blocks depend on
+        // the model even when compiled code does not).
+        let mut slow = DeviceConfig::k20x_ecc_off();
+        slow.mem_latency *= 2.0;
+        assert_ne!(slow.fingerprint(), a.fingerprint());
     }
 }

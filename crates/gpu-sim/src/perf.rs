@@ -106,9 +106,15 @@ impl std::error::Error for LaunchError {}
 pub struct LaunchTiming {
     /// Simulated execution time in seconds (including launch overhead).
     pub time: f64,
-    /// Effective sustained bandwidth achieved (bytes/s).
+    /// Effective sustained bandwidth achieved during the streaming phase
+    /// (bytes/s) — what DRAM profiler counters would report while the
+    /// kernel's waves execute. The fixed per-launch costs (host launch
+    /// overhead, pipeline ramp) are charged to [`LaunchTiming::time`] but
+    /// excluded here: a kernel that moves fewer bytes in proportionally
+    /// less time must not read as a bandwidth *loss* merely because the
+    /// constant costs amortise over less traffic.
     pub bandwidth: f64,
-    /// Achieved flop rate (flops/s).
+    /// Achieved flop rate during the streaming phase (flops/s).
     pub flops_rate: f64,
     /// Resident threads used by the occupancy model.
     pub resident_threads: usize,
@@ -203,13 +209,25 @@ pub fn launch_timing(
     // paper finds blocks ≥ 128 saturate (§VII).
     let ramp = waves * cfg.mem_latency * 0.25;
 
-    let t_exec = t_mem.max(t_flop) * tail + ramp;
+    // Streaming phase: the wave-quantised throughput-limited part. The
+    // constant costs (launch overhead, per-wave ramp) go into `time` only;
+    // the throughput metrics are rates *during* the streaming phase, so
+    // they are invariant under traffic reductions that shrink the kernel
+    // (see `shrinking_traffic_never_reads_as_a_bandwidth_loss`).
+    let t_stream = t_mem.max(t_flop) * tail;
+    let t_exec = t_stream + ramp;
     let time = cfg.launch_overhead + t_exec;
+
+    let (bandwidth, flops_rate) = if t_stream > 0.0 {
+        (bytes / t_stream, flops / t_stream)
+    } else {
+        (0.0, 0.0)
+    };
 
     Ok(LaunchTiming {
         time,
-        bandwidth: bytes / time,
-        flops_rate: flops / time,
+        bandwidth,
+        flops_rate,
         resident_threads,
         waves: waves as u32,
         blocks_per_sm: bps,
@@ -326,6 +344,28 @@ mod tests {
         // 16 sites: launch overhead is most of the time.
         assert!(t.time >= cfg.launch_overhead);
         assert!(t.time < 5e-5, "tiny grid took {}", t.time);
+    }
+
+    #[test]
+    fn shrinking_traffic_never_reads_as_a_bandwidth_loss() {
+        // An optimizer pass that eliminates redundant loads shrinks
+        // read_bytes_per_thread. The reported sustained bandwidth must not
+        // drop because of it: the fixed launch/ramp costs would otherwise
+        // amortise over fewer bytes and turn a strict win into an apparent
+        // regression (the dslash opt-on < opt-off artifact).
+        let cfg = DeviceConfig::k20x_ecc_off();
+        let full = lcm_shape(8, true);
+        let mut reduced = full;
+        reduced.read_bytes_per_thread = full.read_bytes_per_thread * 3 / 4;
+        let t_full = launch_timing(&cfg, &full, 256).unwrap();
+        let t_red = launch_timing(&cfg, &reduced, 256).unwrap();
+        assert!(t_red.time < t_full.time, "less traffic must be faster");
+        assert!(
+            t_red.bandwidth >= t_full.bandwidth * (1.0 - 1e-12),
+            "reduced-traffic bandwidth {} fell below full-traffic {}",
+            t_red.bandwidth,
+            t_full.bandwidth
+        );
     }
 
     #[test]

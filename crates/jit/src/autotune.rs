@@ -13,8 +13,10 @@
 //! kernel tuning is carried out on the payload compute launches"* — the
 //! tuner only chooses block sizes for launches that would happen anyway.
 
+use crate::persist::KernelStore;
 use qdp_gpu_sim::sync::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Smallest block size worth probing (one warp).
 pub const MIN_BLOCK: u32 = 32;
@@ -54,6 +56,7 @@ impl TuneState {
 pub struct AutoTuner {
     states: Mutex<HashMap<String, TuneState>>,
     max_block: u32,
+    store: Option<Arc<KernelStore>>,
 }
 
 impl AutoTuner {
@@ -62,26 +65,66 @@ impl AutoTuner {
         AutoTuner {
             states: Mutex::new(HashMap::new()),
             max_block,
+            store: None,
         }
+    }
+
+    /// Like [`AutoTuner::new`], additionally backed by the persistent
+    /// kernel store: a kernel whose settled block size an earlier process
+    /// recorded starts out settled (zero trial launches), and every fresh
+    /// settle is written back.
+    pub fn with_store(max_block: u32, store: Option<Arc<KernelStore>>) -> AutoTuner {
+        AutoTuner {
+            states: Mutex::new(HashMap::new()),
+            max_block,
+            store,
+        }
+    }
+
+    /// First-touch state for `kernel`: seeded settled from the persistent
+    /// store when a valid entry exists (the store validates the stored
+    /// block against `max_block` — an oversized one is evicted so the
+    /// kernel re-tunes instead of launch-failing), fresh probing state
+    /// otherwise.
+    fn initial_state(&self, kernel: &str) -> TuneState {
+        if let Some(store) = &self.store {
+            if let Some((block, time)) = store.lookup_tuned(kernel, self.max_block) {
+                return TuneState {
+                    current: block,
+                    best: Some((block, time)),
+                    settled: true,
+                    launch_failures: 0,
+                    probes: 0,
+                };
+            }
+        }
+        TuneState::new(self.max_block)
     }
 
     /// Block size the next (payload) launch of `kernel` should use.
     pub fn block_for(&self, kernel: &str) -> u32 {
         let mut st = self.states.lock();
         st.entry(kernel.to_string())
-            .or_insert_with(|| TuneState::new(self.max_block))
+            .or_insert_with(|| self.initial_state(kernel))
             .current
     }
 
     /// The launch at the current block size failed (resource exhaustion):
     /// halve and retry. Returns the new block size, or `None` when the
-    /// kernel cannot launch even with the minimum block.
+    /// kernel cannot launch even with the minimum block. A *settled* state
+    /// that fails (possible only with a stale persisted seed — the model
+    /// is deterministic, so a block that once succeeded keeps succeeding)
+    /// is unsettled so the kernel re-tunes cleanly.
     pub fn launch_failed(&self, kernel: &str) -> Option<u32> {
         let mut st = self.states.lock();
         let s = st
             .entry(kernel.to_string())
-            .or_insert_with(|| TuneState::new(self.max_block));
+            .or_insert_with(|| self.initial_state(kernel));
         s.launch_failures += 1;
+        if s.settled {
+            s.settled = false;
+            s.best = None;
+        }
         if s.current <= MIN_BLOCK {
             return None;
         }
@@ -91,38 +134,49 @@ impl AutoTuner {
 
     /// Report the measured execution time of a successful payload launch.
     pub fn report(&self, kernel: &str, block: u32, time: f64) {
-        let mut st = self.states.lock();
-        let s = st
-            .entry(kernel.to_string())
-            .or_insert_with(|| TuneState::new(self.max_block));
-        if s.settled {
-            return;
-        }
-        s.probes += 1;
-        match s.best {
-            None => {
-                s.best = Some((block, time));
-                // begin probing downward
-                if block > MIN_BLOCK {
-                    s.current = block / 2;
-                } else {
-                    s.settled = true;
-                }
+        let newly_settled = {
+            let mut st = self.states.lock();
+            let s = st
+                .entry(kernel.to_string())
+                .or_insert_with(|| self.initial_state(kernel));
+            if s.settled {
+                return;
             }
-            Some((best_block, best_time)) => {
-                if time < best_time {
+            s.probes += 1;
+            match s.best {
+                None => {
                     s.best = Some((block, time));
+                    // begin probing downward
+                    if block > MIN_BLOCK {
+                        s.current = block / 2;
+                    } else {
+                        s.settled = true;
+                    }
                 }
-                if time > best_time * SLOWDOWN_THRESHOLD || block <= MIN_BLOCK {
-                    // significant slowdown (or bottomed out): settle on best
-                    let (b, _) = s.best.unwrap();
-                    s.current = b;
-                    s.settled = true;
-                } else {
-                    let _ = best_block;
-                    s.current = block / 2;
+                Some((best_block, best_time)) => {
+                    if time < best_time {
+                        s.best = Some((block, time));
+                    }
+                    if time > best_time * SLOWDOWN_THRESHOLD || block <= MIN_BLOCK {
+                        // significant slowdown (or bottomed out): settle on best
+                        let (b, _) = s.best.unwrap();
+                        s.current = b;
+                        s.settled = true;
+                    } else {
+                        let _ = best_block;
+                        s.current = block / 2;
+                    }
                 }
             }
+            if s.settled {
+                s.best.map(|(b, t)| (b, t))
+            } else {
+                None
+            }
+        };
+        // Persist outside the states lock: the store does file IO.
+        if let (Some(store), Some((b, t))) = (&self.store, newly_settled) {
+            store.put_tuned(kernel, b, t);
         }
     }
 
@@ -225,5 +279,64 @@ mod tests {
         assert_eq!(tuner.block_for("a"), 512);
         assert_eq!(tuner.block_for("b"), 1024);
         assert_eq!(tuner.len(), 2);
+    }
+
+    fn store_in(tag: &str) -> (std::path::PathBuf, Arc<KernelStore>) {
+        let dir = std::env::temp_dir().join(format!(
+            "qdp_autotune_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Arc::new(qdp_telemetry::Telemetry::new());
+        let store = KernelStore::open(&dir, "dev", t);
+        (dir, store)
+    }
+
+    #[test]
+    fn settling_persists_and_seeds_the_next_tuner() {
+        let (dir, store) = store_in("seed");
+        let tuner = AutoTuner::with_store(1024, Some(Arc::clone(&store)));
+        let mut trials = 0;
+        while !tuner.is_settled("k") {
+            let b = tuner.block_for("k");
+            tuner.report("k", b, fake_time(b));
+            trials += 1;
+        }
+        assert!(trials > 1);
+        assert_eq!(store.lookup_tuned("k", 1024), Some((128, fake_time(128))));
+
+        // A second tuner over the same store starts out settled at the
+        // winner: zero probes, zero trial launches.
+        let warm = AutoTuner::with_store(1024, Some(Arc::clone(&store)));
+        assert_eq!(warm.block_for("k"), 128);
+        assert!(warm.is_settled("k"));
+        assert_eq!(warm.state("k").unwrap().probes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_seed_that_fails_to_launch_re_tunes() {
+        let (dir, store) = store_in("stale");
+        store.put_tuned("k", 512, 1e-3);
+        let tuner = AutoTuner::with_store(1024, Some(Arc::clone(&store)));
+        assert_eq!(tuner.block_for("k"), 512);
+        assert!(tuner.is_settled("k"));
+        // The seeded block fails (e.g. the kernel grew registers): the
+        // state unsettles and probing resumes from the halved size.
+        assert_eq!(tuner.launch_failed("k"), Some(256));
+        assert!(!tuner.is_settled("k"));
+        let mut guard = 0;
+        while !tuner.is_settled("k") {
+            let b = tuner.block_for("k");
+            tuner.report("k", b, fake_time(b));
+            guard += 1;
+            assert!(guard < 20, "re-tune did not settle");
+        }
+        assert_eq!(tuner.block_for("k"), 128);
+        // The re-settled winner overwrote the stale entry.
+        assert_eq!(store.lookup_tuned("k", 1024), Some((128, fake_time(128))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,16 +19,24 @@
 //!   failure, then probe smaller sizes on payload launches until the
 //!   execution time degrades by ≥ 33 %, and keep the best;
 //! * [`launch`] ties it together: tuned, accounted, functionally executed
-//!   kernel launches.
+//!   kernel launches;
+//! * [`persist`] is the on-disk kernel store shared by the JIT cache and
+//!   the auto-tuner: optimized PTX and settled block sizes survive process
+//!   exit, so a warm start performs zero optimizer passes, zero
+//!   recompiles and zero tuner trials.
 
 pub mod autotune;
 pub mod cache;
 pub mod exec;
 pub mod launch;
 pub mod lower;
+pub mod persist;
 
 pub use autotune::AutoTuner;
 pub use cache::{CompileRequest, KernelCache, KernelCacheStats};
 pub use exec::{run_grid, LaunchArg};
 pub use launch::{launch_tuned, launch_tuned_on, LaunchOutcome};
-pub use lower::{compile_ptx, compile_ptx_opt, lower_kernel, CompiledKernel, JitError};
+pub use lower::{
+    compile_ptx, compile_ptx_opt, compile_ptx_opt_emit, lower_kernel, CompiledKernel, JitError,
+};
+pub use persist::{KernelStore, FORMAT_VERSION, STORE_FILE};

@@ -634,6 +634,32 @@ pub fn compile_ptx_opt(
     Ok((kernels, stats))
 }
 
+/// Like [`compile_ptx_opt`], but also returns the PTX text of the module
+/// *after* the optimizer ran — the artifact the persistent kernel store
+/// serializes, so a warm process can lower the already-optimized program
+/// verbatim without repeating any optimizer pass. At [`OptLevel::None`]
+/// the input text is returned unchanged (verbatim contract: nothing is
+/// re-emitted or normalised).
+pub fn compile_ptx_opt_emit(
+    text: &str,
+    level: OptLevel,
+) -> Result<(Vec<CompiledKernel>, OptStats, String), JitError> {
+    let mut module = qdp_ptx::parse::parse_module(text)?;
+    module.validate()?;
+    let stats = qdp_ptx::opt::optimize_module(&mut module, level);
+    let optimized_text = if level == OptLevel::None {
+        text.to_string()
+    } else {
+        qdp_ptx::emit::emit_module(&module)
+    };
+    let kernels: Vec<CompiledKernel> = module
+        .kernels
+        .iter()
+        .map(lower_kernel)
+        .collect::<Result<_, _>>()?;
+    Ok((kernels, stats, optimized_text))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,70 @@
+//! Stable hashing of PTX text and modules.
+//!
+//! The persistent kernel store keys entries on a hash of the *source* PTX
+//! text. `std::collections::hash_map::DefaultHasher` is only documented to
+//! be deterministic within one process, so an on-disk cache cannot use it:
+//! a toolchain update would silently orphan every stored kernel. FNV-1a is
+//! tiny, dependency-free and specified byte-for-byte, so hashes written by
+//! one build are found by the next.
+
+use crate::emit::emit_module;
+use crate::module::Module;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable hash of a PTX text, formatted as the fixed-width hex digest the
+/// persistent store uses for its keys.
+pub fn stable_text_digest(text: &str) -> String {
+    format!("{:016x}", fnv1a(text.as_bytes()))
+}
+
+/// Stable hash of a module: the digest of its emitted text, so two modules
+/// that print identically hash identically regardless of how they were
+/// built.
+pub fn stable_module_digest(module: &Module) -> String {
+    stable_text_digest(&emit_module(module))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::KernelBuilder;
+    use crate::types::PtxType;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_collision_averse() {
+        let a = stable_text_digest(".entry k { ret; }");
+        let b = stable_text_digest(".entry k { ret; }");
+        let c = stable_text_digest(".entry k2 { ret; }");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn module_digest_tracks_emitted_text() {
+        let mut b = KernelBuilder::new("k_hash");
+        b.param("n", PtxType::U32);
+        let m = Module::with_kernel(b.finish());
+        assert_eq!(stable_module_digest(&m), stable_text_digest(&emit_module(&m)));
+    }
+}

@@ -22,12 +22,14 @@
 //!   math subroutines for the functions PTX lacks (§III-D).
 
 pub mod emit;
+pub mod hash;
 pub mod inst;
 pub mod module;
 pub mod opt;
 pub mod parse;
 pub mod types;
 
+pub use hash::{fnv1a, stable_module_digest, stable_text_digest};
 pub use inst::{BinOp, CmpOp, Inst, MathFn, Operand, SpecialReg, UnOp};
 pub use module::{Kernel, KernelBuilder, Module, Param};
 pub use opt::{optimize_kernel, optimize_module, OptLevel, OptStats};
