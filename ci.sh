@@ -59,21 +59,38 @@ cargo test -q --offline --workspace
 cargo test -q --offline -p qdp-core --test streams --test multirank
 echo "ok: stream-engine semantics + schedule tests"
 
-# ---- Telemetry smoke: profile + Chrome trace on a real workload ------------
-# Run the Wilson-dslash example with the profiler and tracer on, then verify
-# the trace with the in-tree checker: the file must exist, parse as Chrome
-# trace JSON, and contain at least one device kernel event. The CG solver
-# issues its two dslash checkerboards on separate streams, so the trace
-# must show kernel launches on >= 3 distinct device-stream tracks (default
-# + dslash-even + dslash-odd).
+# ---- Telemetry smoke: profile + roofline + Chrome trace on a real workload -
+# Run the Wilson-dslash example with the profiler, roofline analyzer and
+# tracer on, then verify the trace with the in-tree checker: the file must
+# exist, parse as Chrome trace JSON, contain at least one device kernel
+# event, and every kernel event must carry the hardware-counter args
+# (ld_tx/st_tx/occ). The CG solver issues its two dslash checkerboards on
+# separate streams, so the trace must show kernel launches on >= 3 distinct
+# device-stream tracks (default + dslash-even + dslash-odd). The roofline
+# section must classify the dslash-class kernels as memory-bound (the
+# paper's Fig. 5 plateau).
 trace=/tmp/qdp_ci_trace.json
-rm -f "$trace"
-QDP_PROFILE=1 QDP_TRACE="$trace" \
-    cargo run --release --offline --example wilson_dslash >/dev/null
+obs_out=/tmp/qdp_ci_obs_out.txt
+rm -f "$trace" "$obs_out"
+QDP_PROFILE=1 QDP_ROOFLINE=1 QDP_TRACE="$trace" \
+    cargo run --release --offline --example wilson_dslash > "$obs_out"
 cargo run --release --offline -p qdp-telemetry --bin trace_check -- \
-    "$trace" --min-kernel-events 1 --min-streams 3
-rm -f "$trace"
-echo "ok: telemetry profile + multi-stream trace smoke"
+    "$trace" --min-kernel-events 1 --min-streams 3 --require-counters
+grep -q 'QDP roofline' "$obs_out"
+grep -q 'memory-bound' "$obs_out"
+rm -f "$trace" "$obs_out"
+echo "ok: telemetry profile + hardware counters + roofline + multi-stream trace smoke"
+
+# ---- Flight recorder: forced launch failure dumps the black box -------------
+# The probe performs healthy launches then forces a launch failure; the
+# telemetry layer must drop an atomically-written qdp-flight-<pid>.json
+# containing the failing event, and the checker must validate its schema.
+flight_dir=$(mktemp -d)
+flight_dump=$(cargo run --release --offline -p qdp-bench --bin flight_probe -- "$flight_dir")
+cargo run --release --offline -p qdp-telemetry --bin trace_check -- \
+    --flight "$flight_dump" --require-kind launch_fail
+rm -rf "$flight_dir"
+echo "ok: flight recorder dump on launch failure"
 
 # ---- Conformance: JIT pipeline vs CPU reference ----------------------------
 # Fixed-seed differential sweeps (200 random expression DAGs per precision),
@@ -133,6 +150,25 @@ if ! awk -v c="$cold_wall" -v w="$warm_wall" 'BEGIN { exit !(w < c) }'; then
 fi
 echo "ok: persistent kernel cache warm start (cold ${cold_wall} us -> warm ${warm_wall} us, zero warm compiles/opt passes/tuner trials)"
 
+# ---- Bench regression gate against the committed baseline -------------------
+# Re-run the framework suite (short budget — the noisy-row floor absorbs
+# the extra variance) and judge every row of the committed
+# BENCH_framework.json. This stage must run BEFORE the bench stage below,
+# which regenerates the baseline file in place. Then the self-test: a
+# synthetic 20% regression injected into the same fresh numbers must fail
+# the gate, or the gate is vacuous.
+gate_run=$(mktemp)
+QDP_BENCH_WARMUP_MS=30 QDP_BENCH_SAMPLE_MS=150 QDP_BENCH_SAMPLES=8 \
+    cargo run --release --offline -p qdp-bench -- \
+    --compare BENCH_framework.json --save-current "$gate_run"
+if cargo run --release --offline -p qdp-bench -- \
+    --compare BENCH_framework.json --current "$gate_run" --inject 20 >/dev/null; then
+    echo "FAIL: perf gate passed an injected 20% regression" >&2
+    exit 1
+fi
+rm -f "$gate_run"
+echo "ok: perf-regression gate (clean pass + injected-regression self-test)"
+
 # ---- Framework bench: optimizer before/after -------------------------------
 # The framework bench records the simulated dslash bandwidth with the
 # optimizer off and on; both rows must land in BENCH_framework.json (the
@@ -149,4 +185,4 @@ grep -q '"overlap_traj_time_ms_legacy"' BENCH_framework.json
 grep -q '"overlap_traj_time_ms_stream"' BENCH_framework.json
 echo "ok: framework bench recorded optimizer before/after, cold/warm persist + overlap legacy-vs-stream rows"
 
-echo "ci.sh: all green (offline build + workspace tests + stream engine + telemetry smoke + conformance + optimizer + persist + bench)"
+echo "ci.sh: all green (offline build + workspace tests + stream engine + observability smoke + conformance + optimizer + persist + perf gate + bench)"

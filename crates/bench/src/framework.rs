@@ -1,0 +1,333 @@
+//! Wall-clock benches of the framework's *own* costs: code generation, PTX
+//! parse + lower (the "driver JIT"), cache operations, the interpreter, and
+//! one CG iteration end-to-end. These complement the figure harnesses
+//! (which report simulated device time). Runs on the in-tree
+//! [`crate::timing`] harness — see that module for knobs and filtering.
+//!
+//! The suite is shared by two front-ends: `cargo bench --bench framework`
+//! (the recorded-baseline producer) and the `qdp-bench` binary's
+//! `--compare` regression gate, which re-runs it against a committed
+//! baseline.
+
+use crate::timing::{BatchSize, Harness};
+use qdp_core::prelude::*;
+use qdp_core::{adj, shift};
+use qdp_jit::KernelCache;
+use qdp_rng::{SeedableRng, StdRng};
+use qdp_types::su3::random_su3;
+use qdp_types::{PScalar, PVector};
+use std::sync::Arc;
+
+fn setup_ctx(l: usize) -> Arc<QdpContext> {
+    QdpContext::k20x(Geometry::symmetric(l))
+}
+
+fn fields(
+    ctx: &Arc<QdpContext>,
+    seed: u64,
+) -> (LatticeColorMatrix<f64>, LatticeFermion<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = LatticeColorMatrix::<f64>::from_fn(ctx, |_| PScalar(random_su3(&mut rng)));
+    let psi = LatticeFermion::<f64>::from_fn(ctx, |_| {
+        PVector::from_fn(|_| PVector::from_fn(|_| qdp_types::su3::gaussian_complex(&mut rng)))
+    });
+    (u, psi)
+}
+
+/// Code generation: AST walk → PTX text for a dslash-class expression.
+fn bench_codegen(c: &mut Harness) {
+    let ctx = setup_ctx(4);
+    let (u, psi) = fields(&ctx, 1);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    c.bench_function("eval_derivative_expr_4x4", |b| {
+        let mut mu = 0usize;
+        b.iter(|| {
+            mu = (mu + 1) % 4;
+            let e = u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            out.assign(e).unwrap()
+        });
+    });
+}
+
+/// Driver JIT: PTX text → parsed module → register machine (cold cache).
+fn bench_jit_translate(c: &mut Harness) {
+    let text = {
+        let mut b = qdp_ptx::module::KernelBuilder::new("bench_kernel");
+        let pn = b.param("n", qdp_ptx::types::PtxType::U32);
+        let tid = b.global_tid();
+        let n = b.ld_param(&pn, qdp_ptx::types::PtxType::U32);
+        let exit = b.guard(tid, n);
+        let mut acc = b.mov(
+            qdp_ptx::types::PtxType::F64,
+            qdp_ptx::inst::Operand::ImmF(0.0),
+        );
+        for i in 0..400 {
+            acc = b.fma(
+                qdp_ptx::types::PtxType::F64,
+                acc.into(),
+                qdp_ptx::inst::Operand::ImmF(1.0 + i as f64),
+                acc.into(),
+            );
+        }
+        b.bind_label(&exit);
+        qdp_ptx::emit::emit_module(&qdp_ptx::module::Module::with_kernel(b.finish()))
+    };
+    c.bench_function("jit_parse_and_lower_400_inst", |b| {
+        b.iter_batched(
+            KernelCache::new,
+            |cache| cache.compile(qdp_jit::CompileRequest::new(&text)).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Interpreter throughput: one payload launch of `upsi` on 16⁴ sites.
+fn bench_interpreter(c: &mut Harness) {
+    let ctx = setup_ctx(16);
+    let (u, psi) = fields(&ctx, 3);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    out.assign(u.q() * psi.q()).unwrap(); // compile + settle the tuner
+    c.bench_function("interpreter_upsi_16x4", |b| {
+        b.iter(|| out.assign(u.q() * psi.q()).unwrap());
+    });
+}
+
+/// Memory-cache page-out + page-in cycle.
+fn bench_cache_ops(c: &mut Harness) {
+    let ctx = setup_ctx(8);
+    let (u, _) = fields(&ctx, 4);
+    c.bench_function("cache_pageout_pagein_cycle", |b| {
+        b.iter(|| {
+            // host access pages out; assure pages back in
+            let _ = u.get(0);
+            ctx.cache().assure_on_device(&[u.id()]).unwrap()
+        });
+    });
+}
+
+/// Two full CG iterations (dslash×4 + linalg + reductions) on 4⁴.
+fn bench_cg_iteration(c: &mut Harness) {
+    let ctx = setup_ctx(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = chroma_mini::gauge::GaugeField::warm(&ctx, &mut rng, 0.25);
+    let m = chroma_mini::fermion::WilsonDirac::new(&g, 0.3, None);
+    let b_rhs = chroma_mini::gauge::gaussian_fermion(&ctx, &mut rng);
+    let x = LatticeFermion::<f64>::new(&ctx);
+    c.bench_function("cg_2_iterations_4x4", |bch| {
+        bch.iter(|| chroma_mini::solver::cg_solve(&m, &x, &b_rhs, 1e-30, 2).unwrap());
+    });
+}
+
+/// Kernel-optimizer before/after: the full 4-direction Wilson hopping term
+/// evaluated with the optimizer off (`o0`) and at its default level
+/// (`o1`). The optimized kernel issues roughly half the `ld.global`s, so
+/// both the wall-clock eval and the simulated sustained bandwidth move;
+/// the `dslash_sim_bandwidth_gbps_opt_*` rows land in the results JSON as
+/// the recorded before/after figures.
+fn bench_optimizer(c: &mut Harness) {
+    use qdp_core::OptLevel;
+    let ctx = setup_ctx(8);
+    let (u, psi) = fields(&ctx, 7);
+    let out = LatticeFermion::<f64>::new(&ctx);
+    let dslash = || {
+        let mut acc = None;
+        for mu in 0..4 {
+            let term = u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        acc.unwrap()
+    };
+    for (tag, level) in [("off", OptLevel::None), ("on", OptLevel::Default)] {
+        ctx.set_opt_level(Some(level));
+        out.assign(dslash()).unwrap(); // compile + settle the tuner
+        let report = out.assign(dslash()).unwrap();
+        c.record_value(
+            &format!("dslash_sim_bandwidth_gbps_opt_{tag}"),
+            report.bandwidth / 1e9,
+        );
+        c.bench_function(&format!("dslash_eval_opt_{tag}_8x4"), |b| {
+            b.iter(|| out.assign(dslash()).unwrap());
+        });
+    }
+    ctx.set_opt_level(None);
+}
+
+/// Persistent kernel store: first-eval latency of a brand-new context —
+/// the cold-start cost the store exists to kill. `cold` evaluates against
+/// an empty store directory (full codegen → parse → optimize → lower),
+/// `warm` against one populated by an earlier context (stored optimized
+/// PTX, no optimizer pass, seeded block size). Payload execution is off so
+/// the rows isolate the compilation pipeline.
+fn bench_persist(c: &mut Harness) {
+    use qdp_core::OptLevel;
+    use qdp_jit::KernelStore;
+    use qdp_telemetry::Telemetry;
+
+    let base = std::env::temp_dir().join(format!("qdp_bench_persist_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // The source fields ride along in the returned tuple: dropping a
+    // Lattice unregisters it from the software cache, which would turn the
+    // timed eval into an UnknownField error.
+    let dslash_into = |ctx: &Arc<QdpContext>| {
+        let u = LatticeColorMatrix::<f64>::new(ctx);
+        let psi = LatticeFermion::<f64>::new(ctx);
+        let out = LatticeFermion::<f64>::new(ctx);
+        let mut acc = None;
+        for mu in 0..4 {
+            let term = u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        let e = acc.unwrap();
+        (u, psi, out, e)
+    };
+    let fresh_ctx = |dir: &std::path::Path| {
+        std::fs::create_dir_all(dir).unwrap();
+        let tel = Arc::new(Telemetry::new());
+        let cfg = DeviceConfig::k20x_ecc_off();
+        let store = KernelStore::open(dir, &cfg.fingerprint(), Arc::clone(&tel));
+        let ctx = QdpContext::with_kernel_store(
+            cfg,
+            Geometry::symmetric(8),
+            LayoutKind::SoA,
+            tel,
+            Some(store),
+        );
+        ctx.set_opt_level(Some(OptLevel::Default));
+        ctx.set_payload_execution(false);
+        ctx
+    };
+
+    // Populate the warm directory once: compile and settle the tuner.
+    let warm_dir = base.join("warm");
+    {
+        let ctx = fresh_ctx(&warm_dir);
+        let (_u, _psi, out, e) = dslash_into(&ctx);
+        for _ in 0..16 {
+            out.assign(e.clone()).unwrap();
+        }
+    }
+
+    let mut n = 0u64;
+    c.bench_function("dslash_eval_opt_on_cold", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                let dir = base.join(format!("cold_{n}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                let ctx = fresh_ctx(&dir);
+                dslash_into(&ctx)
+            },
+            |(_u, _psi, out, e)| out.assign(e).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    c.bench_function("dslash_eval_opt_on_warm", |b| {
+        b.iter_batched(
+            || {
+                let ctx = fresh_ctx(&warm_dir);
+                dslash_into(&ctx)
+            },
+            |(_u, _psi, out, e)| out.assign(e).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// §V overlap schedule: the two-rank boundary-split derivative evaluated
+/// under the legacy single-clock hand model and under the two-stream
+/// engine (gather/exchange on the comm stream, inner kernel on the
+/// compute stream). Records the modelled trajectory times side by side —
+/// `overlap_traj_time_ms_legacy` / `overlap_traj_time_ms_stream` — plus
+/// the gain, so the results JSON carries the comparison.
+fn bench_overlap(c: &mut Harness) {
+    // Compute-critical split (small faces): the schedules differ by where
+    // the inner kernel starts — at the fork (stream) vs after the sends
+    // are issued (legacy). Comm-bound splits tie the two schedules (both
+    // end on the halo-arrival → face-kernel chain).
+    fn trajectory_ms(streamed: bool) -> f64 {
+        let global = [8usize, 4, 4, 4];
+        let results = qdp_comm::run_cluster(
+            2,
+            qdp_comm::LinkModel::infiniband_qdr(),
+            move |handle| {
+                let decomp = qdp_layout::Decomposition::new(global, [2, 1, 1, 1]);
+                let rank = handle.rank;
+                let ctx = QdpContext::new(
+                    DeviceConfig::k20m_ecc_on(),
+                    decomp.local_geometry(),
+                    LayoutKind::SoA,
+                );
+                ctx.set_payload_execution(false);
+                let mr = qdp_core::multinode::MultiRank::new(
+                    Arc::clone(&ctx),
+                    decomp,
+                    handle,
+                    false,
+                    true,
+                );
+                mr.set_stream_schedule(streamed);
+                let mut rng = StdRng::seed_from_u64(11 + rank as u64);
+                let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |_| {
+                    PScalar(random_su3(&mut rng))
+                });
+                let psi = LatticeFermion::<f64>::from_fn(&ctx, |_| {
+                    PVector::from_fn(|_| {
+                        PVector::from_fn(|_| qdp_types::su3::gaussian_complex(&mut rng))
+                    })
+                });
+                let out = LatticeFermion::<f64>::new(&ctx);
+                let e = u.q() * shift(psi.q(), 0, ShiftDir::Forward)
+                    + shift(adj(u.q()) * psi.q(), 0, ShiftDir::Backward);
+                // warm up: compile, pin site lists, page the target
+                for _ in 0..2 {
+                    mr.eval(out.fref(), &e.0).unwrap();
+                }
+                let t0 = ctx.device().now();
+                let reps = 5;
+                for _ in 0..reps {
+                    mr.eval(out.fref(), &e.0).unwrap();
+                }
+                (ctx.device().now() - t0) / reps as f64
+            },
+        );
+        results.into_iter().fold(0.0f64, f64::max) * 1e3
+    }
+    let legacy = trajectory_ms(false);
+    let streamed = trajectory_ms(true);
+    c.record_value("overlap_traj_time_ms_legacy", legacy);
+    c.record_value("overlap_traj_time_ms_stream", streamed);
+    c.record_value("overlap_stream_gain_pct", 100.0 * (legacy / streamed - 1.0));
+}
+
+/// Reduction (norm2) end to end.
+fn bench_reduction(c: &mut Harness) {
+    let ctx = setup_ctx(8);
+    let (_, psi) = fields(&ctx, 6);
+    c.bench_function("norm2_8x4", |b| {
+        b.iter(|| psi.norm2().unwrap());
+    });
+}
+
+/// Run the whole framework suite into `h` (subject to its name filter).
+pub fn run_all(h: &mut Harness) {
+    bench_codegen(h);
+    bench_jit_translate(h);
+    bench_interpreter(h);
+    bench_cache_ops(h);
+    bench_cg_iteration(h);
+    bench_reduction(h);
+    bench_optimizer(h);
+    bench_persist(h);
+    bench_overlap(h);
+}

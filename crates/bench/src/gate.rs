@@ -1,0 +1,360 @@
+//! The perf-regression gate behind `qdp-bench --compare`.
+//!
+//! A gate run re-executes the framework suite ([`crate::framework`]) and
+//! judges every row of the committed baseline against the fresh numbers.
+//! Two facts shape the thresholds:
+//!
+//! - **Wall-clock rows are noisy.** CI machines are shared and the bench
+//!   budget is short, so per-row σ understates cross-run variance. The
+//!   acceptance band is `max(sigmas · σ/median, floor_noisy)` relative to
+//!   the baseline median.
+//! - **Single-sample rows are deterministic.** Derived metrics
+//!   ([`crate::timing::Harness::record_value`]: simulated bandwidths,
+//!   modelled trajectory times) carry `samples == 1` and `σ == 0` — the
+//!   statistical band collapses, so a tight relative floor (`floor_det`)
+//!   applies instead. Without this fallback σ≈0 rows would make the gate
+//!   trigger-happy (any ULP wiggle fails) while a σ-only rule with the
+//!   old σ=0 baselines would make it vacuous.
+//!
+//! Direction matters: most rows are times (lower is better), but
+//! bandwidth and gain rows improve upward. The gate infers direction from
+//! the row name.
+
+use crate::timing::Stats;
+use qdp_telemetry::json::{self, Value};
+use std::fmt;
+
+/// One row of a results file (the committed baseline or a saved run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    pub name: String,
+    pub median: f64,
+    pub sigma: f64,
+    /// Sample count. Baselines written before the field existed default to
+    /// 1 when σ = 0 (the degenerate value rows) and 25 otherwise.
+    pub samples: usize,
+}
+
+/// Parse a results JSON array (`[{"name","min","median","mean","sigma",
+/// "samples"}, …]`) as written by [`crate::timing::Harness`].
+pub fn parse_results(text: &str) -> Result<Vec<ResultRow>, String> {
+    let v = json::parse(text).map_err(|e| format!("results file is not valid JSON: {e}"))?;
+    let rows = v.as_array().ok_or("results file must be a JSON array")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let field = |key: &str| -> Result<&Value, String> {
+            row.get(key).ok_or(format!("row {i}: missing \"{key}\""))
+        };
+        let name = field("name")?
+            .as_str()
+            .ok_or(format!("row {i}: \"name\" must be a string"))?
+            .to_string();
+        let median = field("median")?
+            .as_f64()
+            .ok_or(format!("row {i}: \"median\" must be a number"))?;
+        let sigma = field("sigma")?
+            .as_f64()
+            .ok_or(format!("row {i}: \"sigma\" must be a number"))?;
+        let samples = match row.get("samples").and_then(|s| s.as_f64()) {
+            Some(n) => n as usize,
+            None if sigma == 0.0 => 1,
+            None => 25,
+        };
+        out.push(ResultRow {
+            name,
+            median,
+            sigma,
+            samples,
+        });
+    }
+    Ok(out)
+}
+
+/// Convert a harness run into gate rows.
+pub fn rows_from_stats(rows: &[(String, Stats)]) -> Vec<ResultRow> {
+    rows.iter()
+        .map(|(name, s)| ResultRow {
+            name: name.clone(),
+            median: s.median,
+            sigma: s.stddev,
+            samples: s.samples,
+        })
+        .collect()
+}
+
+/// Which way a row improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+/// Times improve downward; bandwidths and gains improve upward.
+pub fn direction_for(name: &str) -> Direction {
+    if name.contains("bandwidth") || name.contains("gain") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Width of the statistical acceptance band in baseline σ.
+    pub sigmas: f64,
+    /// Relative floor for deterministic (single-sample) rows.
+    pub floor_det: f64,
+    /// Relative floor for noisy wall-clock rows.
+    pub floor_noisy: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            sigmas: 3.0,
+            floor_det: 0.02,
+            floor_noisy: 0.60,
+        }
+    }
+}
+
+/// Verdict on one baseline row.
+#[derive(Debug, Clone)]
+pub struct RowVerdict {
+    pub name: String,
+    pub direction: Direction,
+    pub baseline: f64,
+    pub current: f64,
+    /// Relative change in the *worse* direction (negative = improved).
+    pub worsening: f64,
+    /// Relative acceptance threshold the worsening is judged against.
+    pub threshold: f64,
+    pub regressed: bool,
+}
+
+/// Outcome of comparing a fresh run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    pub verdicts: Vec<RowVerdict>,
+    /// Baseline rows the fresh run did not produce (always a failure —
+    /// a silently vanished bench must not weaken the gate).
+    pub missing: Vec<String>,
+    /// Fresh rows with no baseline (informational).
+    pub unbaselined: Vec<String>,
+}
+
+impl GateReport {
+    /// True when any row regressed or any baseline row went missing.
+    pub fn failed(&self) -> bool {
+        !self.missing.is_empty() || self.verdicts.iter().any(|v| v.regressed)
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<36} {:>12} {:>12} {:>8} {:>8}  verdict",
+            "row", "baseline", "current", "worse%", "allow%"
+        )?;
+        for v in &self.verdicts {
+            writeln!(
+                f,
+                "{:<36} {:>12.6} {:>12.6} {:>8.2} {:>8.2}  {}",
+                v.name,
+                v.baseline,
+                v.current,
+                v.worsening * 100.0,
+                v.threshold * 100.0,
+                if v.regressed { "REGRESSED" } else { "ok" }
+            )?;
+        }
+        for name in &self.missing {
+            writeln!(f, "{name:<36} MISSING from the fresh run: FAIL")?;
+        }
+        for name in &self.unbaselined {
+            writeln!(f, "{name:<36} (new row, no baseline — not gated)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Judge `current` against `baseline` row by row.
+pub fn evaluate(baseline: &[ResultRow], current: &[ResultRow], cfg: &GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.name == b.name) else {
+            report.missing.push(b.name.clone());
+            continue;
+        };
+        let direction = direction_for(&b.name);
+        // Relative change in the worse direction: for times, slower is
+        // worse; for bandwidths/gains, lower is worse.
+        let worsening = if b.median.abs() < f64::EPSILON {
+            0.0
+        } else {
+            match direction {
+                Direction::LowerIsBetter => (c.median - b.median) / b.median,
+                Direction::HigherIsBetter => (b.median - c.median) / b.median,
+            }
+        };
+        let floor = if b.samples <= 1 {
+            cfg.floor_det
+        } else {
+            cfg.floor_noisy
+        };
+        let stat_band = if b.median.abs() < f64::EPSILON {
+            0.0
+        } else {
+            cfg.sigmas * b.sigma / b.median.abs()
+        };
+        let threshold = stat_band.max(floor);
+        report.verdicts.push(RowVerdict {
+            name: b.name.clone(),
+            direction,
+            baseline: b.median,
+            current: c.median,
+            worsening,
+            threshold,
+            regressed: worsening > threshold,
+        });
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            report.unbaselined.push(c.name.clone());
+        }
+    }
+    report
+}
+
+/// Worsen every row by `pct` percent in its bad direction — the gate's
+/// CI self-test: an injected synthetic regression of this size must fail.
+pub fn inject_regression(rows: &mut [ResultRow], pct: f64) {
+    let f = pct / 100.0;
+    for r in rows.iter_mut() {
+        match direction_for(&r.name) {
+            Direction::LowerIsBetter => r.median *= 1.0 + f,
+            Direction::HigherIsBetter => r.median *= 1.0 - f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, median: f64, sigma: f64, samples: usize) -> ResultRow {
+        ResultRow {
+            name: name.to_string(),
+            median,
+            sigma,
+            samples,
+        }
+    }
+
+    #[test]
+    fn direction_follows_row_name() {
+        assert_eq!(direction_for("cg_2_iterations_4x4"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction_for("dslash_sim_bandwidth_gbps_opt_on"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("overlap_stream_gain_pct"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("overlap_traj_time_ms_stream"),
+            Direction::LowerIsBetter
+        );
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![row("a_time", 1.0, 0.05, 25), row("b_bandwidth", 200.0, 0.0, 1)];
+        let report = evaluate(&base, &base.clone(), &GateConfig::default());
+        assert!(!report.failed());
+        assert!(report.verdicts.iter().all(|v| !v.regressed));
+    }
+
+    #[test]
+    fn sigma_band_tolerates_noise_but_not_blowups() {
+        let base = vec![row("a_time", 1.0, 0.05, 25)];
+        let cfg = GateConfig::default();
+        // Within 3σ (15%) < floor_noisy (60%): even 50% passes on noisy rows.
+        let ok = vec![row("a_time", 1.5, 0.05, 25)];
+        assert!(!evaluate(&base, &ok, &cfg).failed());
+        // 80% > 60% floor: fails.
+        let bad = vec![row("a_time", 1.8, 0.05, 25)];
+        let report = evaluate(&base, &bad, &cfg);
+        assert!(report.failed());
+        assert!(report.verdicts[0].regressed);
+    }
+
+    #[test]
+    fn wide_sigma_beats_the_noisy_floor() {
+        // σ/median = 0.3 → 3σ band = 90% > 60% floor; an 80% slowdown is
+        // inside the statistical band and must pass.
+        let base = vec![row("a_time", 1.0, 0.3, 25)];
+        let cur = vec![row("a_time", 1.8, 0.3, 25)];
+        assert!(!evaluate(&base, &cur, &GateConfig::default()).failed());
+    }
+
+    #[test]
+    fn deterministic_rows_use_the_tight_floor() {
+        let base = vec![row("x_bandwidth", 200.0, 0.0, 1)];
+        let cfg = GateConfig::default();
+        // 1% below baseline: inside the 2% deterministic floor.
+        let ok = vec![row("x_bandwidth", 198.0, 0.0, 1)];
+        assert!(!evaluate(&base, &ok, &cfg).failed());
+        // 5% below: regression. (Direction: bandwidth improves upward.)
+        let bad = vec![row("x_bandwidth", 190.0, 0.0, 1)];
+        assert!(evaluate(&base, &bad, &cfg).failed());
+        // 5% *above* baseline is an improvement, never a regression.
+        let better = vec![row("x_bandwidth", 210.0, 0.0, 1)];
+        assert!(!evaluate(&base, &better, &cfg).failed());
+    }
+
+    #[test]
+    fn missing_rows_fail_and_new_rows_inform() {
+        let base = vec![row("gone", 1.0, 0.0, 1)];
+        let cur = vec![row("brand_new", 1.0, 0.0, 1)];
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        assert!(report.failed());
+        assert_eq!(report.missing, vec!["gone"]);
+        assert_eq!(report.unbaselined, vec!["brand_new"]);
+    }
+
+    #[test]
+    fn injected_regression_fails_both_directions() {
+        let base = vec![
+            row("a_time", 1.0, 0.01, 25),
+            row("b_bandwidth", 200.0, 0.0, 1),
+        ];
+        let mut cur = base.clone();
+        inject_regression(&mut cur, 20.0);
+        assert!((cur[0].median - 1.2).abs() < 1e-12, "times worsen upward");
+        assert!((cur[1].median - 160.0).abs() < 1e-9, "bandwidths worsen downward");
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        // floor_noisy = 60% would swallow a 20% wall-clock change — that's
+        // intended; the deterministic row must still trip the gate.
+        assert!(report.failed());
+        assert!(report.verdicts.iter().any(|v| v.regressed));
+    }
+
+    #[test]
+    fn results_parse_with_and_without_samples() {
+        let text = r#"[
+            {"name":"a","min":1,"median":1.5,"mean":1.6,"sigma":0.1,"samples":25},
+            {"name":"b","min":2,"median":2.0,"mean":2.0,"sigma":0},
+            {"name":"c","min":3,"median":3.0,"mean":3.0,"sigma":0.2}
+        ]"#;
+        let rows = parse_results(text).unwrap();
+        assert_eq!(rows[0].samples, 25);
+        assert_eq!(rows[1].samples, 1, "legacy σ=0 rows default to 1 sample");
+        assert_eq!(rows[2].samples, 25, "legacy noisy rows default to 25");
+        assert!(parse_results("{\"not\":\"an array\"}").is_err());
+        assert!(parse_results("[{\"median\":1}]").is_err());
+    }
+}

@@ -4,6 +4,8 @@
 //! paper's rows/series. See DESIGN.md's experiment index and EXPERIMENTS.md
 //! for the recorded outputs.
 
+pub mod framework;
+pub mod gate;
 pub mod hmc_model;
 pub mod kernels;
 pub mod timing;

@@ -1,0 +1,143 @@
+//! `qdp-bench` — the perf-regression gate.
+//!
+//! ```text
+//! qdp-bench [FILTER]                      run the framework suite
+//! qdp-bench --compare <baseline.json>     re-run the suite and gate every
+//!                                         baseline row; exit 1 on regression
+//!   --sigmas K        statistical band width in baseline σ (default 3)
+//!   --floor-det F     relative floor for single-sample rows (default 0.02)
+//!   --floor-noisy F   relative floor for wall-clock rows (default 0.60)
+//!   --current <json>  gate a previously saved run instead of re-running
+//!   --save-current <json>  save the fresh run for later --current use
+//!   --inject PCT      self-test: worsen the fresh numbers by PCT% before
+//!                      judging (a healthy gate must then fail)
+//! ```
+//!
+//! A compare run never writes BENCH_framework.json — the committed
+//! baseline only changes when `cargo bench --bench framework` regenerates
+//! it deliberately.
+
+use qdp_bench::gate::{self, GateConfig};
+use qdp_bench::timing::Harness;
+use std::process::ExitCode;
+
+struct Cli {
+    baseline: Option<String>,
+    current: Option<String>,
+    save_current: Option<String>,
+    inject: Option<f64>,
+    cfg: GateConfig,
+    filter: Option<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        baseline: None,
+        current: None,
+        save_current: None,
+        inject: None,
+        cfg: GateConfig::default(),
+        filter: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or(format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--compare" => cli.baseline = Some(value("--compare")?),
+            "--current" => cli.current = Some(value("--current")?),
+            "--save-current" => cli.save_current = Some(value("--save-current")?),
+            "--inject" => {
+                cli.inject = Some(
+                    value("--inject")?
+                        .parse()
+                        .map_err(|e| format!("--inject: {e}"))?,
+                )
+            }
+            "--sigmas" => {
+                cli.cfg.sigmas = value("--sigmas")?
+                    .parse()
+                    .map_err(|e| format!("--sigmas: {e}"))?
+            }
+            "--floor-det" => {
+                cli.cfg.floor_det = value("--floor-det")?
+                    .parse()
+                    .map_err(|e| format!("--floor-det: {e}"))?
+            }
+            "--floor-noisy" => {
+                cli.cfg.floor_noisy = value("--floor-noisy")?
+                    .parse()
+                    .map_err(|e| format!("--floor-noisy: {e}"))?
+            }
+            f if f.starts_with("--") => return Err(format!("unknown flag {f}")),
+            name => cli.filter = Some(name.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: Cli) -> Result<bool, String> {
+    let Some(baseline_path) = &cli.baseline else {
+        // No baseline: plain bench run (same suite the bench target runs).
+        let mut h = Harness::from_env();
+        h.set_filter(cli.filter.clone());
+        qdp_bench::framework::run_all(&mut h);
+        return Ok(true);
+    };
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = gate::parse_results(&baseline_text)
+        .map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+
+    let mut current = match &cli.current {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read saved run {path}: {e}"))?;
+            gate::parse_results(&text).map_err(|e| format!("saved run {path}: {e}"))?
+        }
+        None => {
+            println!("re-running the framework suite against {baseline_path} …");
+            let mut h = Harness::from_env();
+            h.set_filter(None);
+            // Never let a gate run clobber the committed baseline.
+            h.set_json_path(None);
+            qdp_bench::framework::run_all(&mut h);
+            if let Some(path) = &cli.save_current {
+                std::fs::write(path, h.results_json())
+                    .map_err(|e| format!("cannot save run to {path}: {e}"))?;
+                println!("saved fresh run to {path}");
+            }
+            gate::rows_from_stats(h.rows())
+        }
+    };
+
+    if let Some(pct) = cli.inject {
+        println!("injecting a synthetic {pct}% regression into the fresh numbers");
+        gate::inject_regression(&mut current, pct);
+    }
+
+    let report = gate::evaluate(&baseline, &current, &cli.cfg);
+    println!();
+    print!("{report}");
+    if report.failed() {
+        println!("\nperf gate: FAIL");
+        Ok(false)
+    } else {
+        println!("\nperf gate: ok ({} rows within thresholds)", report.verdicts.len());
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_cli().and_then(run) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("qdp-bench: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

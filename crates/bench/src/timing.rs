@@ -21,9 +21,10 @@
 //!   (default `BENCH_framework.json`; set to the empty string to disable)
 //!
 //! Besides the stdout table, the harness writes the results as a JSON array
-//! (`[{"name", "min", "median", "mean", "sigma"}, …]`, seconds per
-//! iteration) when it is dropped — the repo's perf-trajectory tracking
-//! consumes these files across commits.
+//! (`[{"name", "min", "median", "mean", "sigma", "samples"}, …]`, seconds
+//! per iteration) when it is dropped — the repo's perf-trajectory tracking
+//! and the `qdp-bench --compare` regression gate consume these files across
+//! commits.
 //!
 //! A substring filter can be passed on the command line
 //! (`cargo bench --bench framework -- codegen` runs only matching benches).
@@ -127,6 +128,10 @@ pub struct Stats {
     pub median: f64,
     pub mean: f64,
     pub stddev: f64,
+    /// Number of samples behind the statistics. Derived single-value rows
+    /// ([`Harness::record_value`]) carry 1 — the regression gate uses this
+    /// to fall back to a relative threshold floor where σ is meaningless.
+    pub samples: usize,
 }
 
 impl Stats {
@@ -147,6 +152,7 @@ impl Stats {
             median,
             mean,
             stddev: var.sqrt(),
+            samples: n,
         }
     }
 }
@@ -258,6 +264,7 @@ impl Harness {
                 median: value,
                 mean: value,
                 stddev: 0.0,
+                samples: 1,
             },
         ));
     }
@@ -265,6 +272,25 @@ impl Harness {
     /// Number of benchmarks actually run (post-filter).
     pub fn n_run(&self) -> usize {
         self.results.len()
+    }
+
+    /// Replace the name filter (`None` runs everything). The `qdp-bench`
+    /// gate uses this: its own CLI flags must not leak into the filter
+    /// that [`Harness::from_env`] infers from the process arguments.
+    pub fn set_filter(&mut self, filter: Option<String>) {
+        self.filter = filter;
+    }
+
+    /// Redirect (or with `None` suppress) the results file written on
+    /// drop. The gate suppresses it so a comparison run can never
+    /// overwrite the committed baseline it is comparing against.
+    pub fn set_json_path(&mut self, path: Option<PathBuf>) {
+        self.json_path = path;
+    }
+
+    /// The measured rows so far, in run order.
+    pub fn rows(&self) -> &[(String, Stats)] {
+        &self.results
     }
 
     /// Serialise the results as a JSON array (seconds per iteration).
@@ -276,12 +302,13 @@ impl Harness {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"min\":{},\"median\":{},\"mean\":{},\"sigma\":{}}}",
+                "{{\"name\":\"{}\",\"min\":{},\"median\":{},\"mean\":{},\"sigma\":{},\"samples\":{}}}",
                 escape(name),
                 number(s.min),
                 number(s.median),
                 number(s.mean),
                 number(s.stddev),
+                s.samples,
             ));
         }
         out.push(']');
@@ -392,6 +419,8 @@ mod tests {
                 let val = row.get(key).and_then(|x| x.as_f64()).unwrap();
                 assert!(val >= 0.0, "{key} should be non-negative");
             }
+            let n = row.get("samples").and_then(|x| x.as_f64()).unwrap();
+            assert!(n >= 1.0, "sample count must be recorded");
         }
         h.json_path = None; // keep Drop from re-writing
         std::fs::remove_file(&path).ok();
@@ -412,5 +441,6 @@ mod tests {
         assert_eq!(s.median, 2.0);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.samples, 4);
     }
 }

@@ -189,6 +189,7 @@ impl MemoryCache {
             if spill {
                 stats.spills += 1;
                 stats.spill_bytes += e.host.len() as u64;
+                tel.record_flight("cache_spill", "", &[("bytes", e.host.len() as f64)]);
                 if tel.enabled() {
                     tel.count("cache.spills", 1);
                     tel.count("cache.spill_bytes", e.host.len() as u64);

@@ -94,6 +94,13 @@ impl RankHandle {
                 sent_at: now,
             })
             .expect("peer rank hung up");
+        if let Some(t) = &self.telemetry {
+            t.record_flight(
+                "comm_send",
+                "",
+                &[("bytes", bytes as f64), ("to", to as f64), ("sim_t0", now)],
+            );
+        }
         if let Some(t) = self.tel() {
             t.count("comm.sends", 1);
             t.count("comm.send_bytes", bytes as u64);
@@ -120,6 +127,17 @@ impl RankHandle {
             .expect("peer rank hung up");
         let arrival = msg.sent_at + self.link.transfer_time(msg.data.len());
         let arrival = arrival.max(now);
+        if let Some(t) = &self.telemetry {
+            t.record_flight(
+                "comm_recv",
+                "",
+                &[
+                    ("bytes", msg.data.len() as f64),
+                    ("from", from as f64),
+                    ("sim_t0", now),
+                ],
+            );
+        }
         if let Some(t) = self.tel() {
             t.count("comm.recvs", 1);
             t.count("comm.recv_bytes", msg.data.len() as u64);

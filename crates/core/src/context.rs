@@ -64,6 +64,9 @@ impl QdpContext {
         telemetry: Arc<Telemetry>,
         store: Option<Arc<KernelStore>>,
     ) -> Arc<QdpContext> {
+        // Register the registry with the panic hook so a crash anywhere in
+        // the stack dumps the flight recorder's black box to disk.
+        telemetry.arm_panic_dump();
         let device = Arc::new(Device::with_telemetry(cfg, Arc::clone(&telemetry)));
         let max_block = device.config().max_threads_per_block;
         Arc::new(QdpContext {
@@ -91,6 +94,13 @@ impl QdpContext {
     /// profiles, counters, histograms, span aggregates).
     pub fn profile_report(&self) -> ProfileReport {
         self.telemetry().profile_report()
+    }
+
+    /// Roofline view of everything profiled so far: per-kernel arithmetic
+    /// intensity and attained-vs-peak rates against this context's device
+    /// peaks, each kernel classified memory- or compute-bound.
+    pub fn roofline_report(&self) -> qdp_telemetry::RooflineReport {
+        qdp_telemetry::RooflineReport::build(&self.profile_report(), &self.device.config().peaks())
     }
 
     /// Context with the paper's benchmark device (K20x, ECC off) and the

@@ -103,6 +103,18 @@ impl DeviceConfig {
         }
     }
 
+    /// Peak rates of this device in the form the roofline analyzer
+    /// (`qdp_telemetry::roofline`) consumes.
+    pub fn peaks(&self) -> qdp_telemetry::DevicePeaks {
+        qdp_telemetry::DevicePeaks {
+            name: self.name.clone(),
+            peak_bandwidth: self.peak_bandwidth,
+            peak_flops_sp: self.peak_flops_sp,
+            peak_flops_dp: self.peak_flops_dp,
+            sustained_fraction: self.sustained_fraction,
+        }
+    }
+
     /// Peak flop rate for a precision.
     pub fn peak_flops(&self, double_precision: bool) -> f64 {
         if double_precision {
@@ -173,6 +185,16 @@ mod tests {
         assert!(m.peak_flops_dp < x.peak_flops_dp);
         assert_eq!(x.peak_flops(true), x.peak_flops_dp);
         assert_eq!(x.peak_flops(false), x.peak_flops_sp);
+    }
+
+    #[test]
+    fn peaks_mirror_config() {
+        let c = DeviceConfig::k20x_ecc_off();
+        let p = c.peaks();
+        assert_eq!(p.peak_bandwidth, c.peak_bandwidth);
+        assert_eq!(p.sustained_fraction, c.sustained_fraction);
+        assert!((p.ridge(false) - c.peak_flops_sp / c.peak_bandwidth).abs() < 1e-12);
+        assert!(p.ridge(true) < p.ridge(false), "dp ridge sits left of sp");
     }
 
     #[test]

@@ -204,6 +204,15 @@ impl Device {
             st.transfer_time += dt;
         }
         let after = self.advance_stream(s, dt);
+        self.telemetry.record_flight(
+            "h2d",
+            "",
+            &[
+                ("bytes", src.len() as f64),
+                ("stream", s.0 as f64),
+                ("sim_t0", after - dt),
+            ],
+        );
         if self.telemetry.enabled() {
             self.telemetry.count("device.h2d_copies", 1);
             self.telemetry.count("device.h2d_bytes", src.len() as u64);
@@ -234,6 +243,15 @@ impl Device {
             st.transfer_time += dt;
         }
         let after = self.advance_stream(s, dt);
+        self.telemetry.record_flight(
+            "d2h",
+            "",
+            &[
+                ("bytes", dst.len() as f64),
+                ("stream", s.0 as f64),
+                ("sim_t0", after - dt),
+            ],
+        );
         if self.telemetry.enabled() {
             self.telemetry.count("device.d2h_copies", 1);
             self.telemetry.count("device.d2h_bytes", dst.len() as u64);

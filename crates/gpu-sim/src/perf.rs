@@ -122,6 +122,19 @@ pub struct LaunchTiming {
     pub waves: u32,
     /// Blocks resident per SM.
     pub blocks_per_sm: u32,
+    /// 128-byte global *load* transactions the DRAM controller services —
+    /// the hardware-counter model. Strided (uncoalesced) access inflates
+    /// this by the same waste factor that deflates effective bandwidth.
+    pub ld_transactions: u64,
+    /// 128-byte global *store* transactions (same model as loads).
+    pub st_transactions: u64,
+    /// Achieved occupancy: resident threads over the device's maximum
+    /// resident threads, in (0, 1].
+    pub occupancy: f64,
+    /// Fixed per-launch cost (host launch overhead + per-wave pipeline
+    /// ramp), seconds: `time - overhead` is the streaming-phase time the
+    /// bandwidth/flop rates are measured over.
+    pub overhead: f64,
 }
 
 /// Occupancy: resident blocks per SM under the three resource limits.
@@ -224,6 +237,15 @@ pub fn launch_timing(
         (0.0, 0.0)
     };
 
+    // Hardware-counter model: DRAM transactions are 128 B; uncoalesced
+    // access (site_stride > 1) touches 1/coalescing times the useful bytes.
+    let read_bytes = (shape.threads * shape.read_bytes_per_thread) as f64;
+    let write_bytes = (shape.threads * shape.write_bytes_per_thread) as f64;
+    let ld_transactions = (read_bytes / coalescing / 128.0).ceil() as u64;
+    let st_transactions = (write_bytes / coalescing / 128.0).ceil() as u64;
+    let max_resident = (cfg.n_sm * cfg.max_threads_per_sm as usize).max(1);
+    let occupancy = resident_threads as f64 / max_resident as f64;
+
     Ok(LaunchTiming {
         time,
         bandwidth,
@@ -231,6 +253,10 @@ pub fn launch_timing(
         resident_threads,
         waves: waves as u32,
         blocks_per_sm: bps,
+        ld_transactions,
+        st_transactions,
+        occupancy,
+        overhead: cfg.launch_overhead + ramp,
     })
 }
 
@@ -365,6 +391,31 @@ mod tests {
             "reduced-traffic bandwidth {} fell below full-traffic {}",
             t_red.bandwidth,
             t_full.bandwidth
+        );
+    }
+
+    #[test]
+    fn hardware_counters_track_traffic_and_occupancy() {
+        let cfg = DeviceConfig::k20x_ecc_off();
+        let shape = lcm_shape(16, false);
+        let t = launch_timing(&cfg, &shape, 128).unwrap();
+        // coalesced SoA: transactions = bytes / 128, rounded up
+        let reads = (shape.threads * shape.read_bytes_per_thread) as u64;
+        let writes = (shape.threads * shape.write_bytes_per_thread) as u64;
+        assert_eq!(t.ld_transactions, reads.div_ceil(128));
+        assert_eq!(t.st_transactions, writes.div_ceil(128));
+        assert!(t.occupancy > 0.0 && t.occupancy <= 1.0);
+        assert!(t.overhead >= cfg.launch_overhead);
+        assert!(t.overhead < t.time, "overhead must not swallow the launch");
+        // AoS stride inflates transactions by the waste factor
+        let mut aos = shape;
+        aos.site_stride = 18;
+        let ta = launch_timing(&cfg, &aos, 128).unwrap();
+        assert!(
+            ta.ld_transactions >= 17 * t.ld_transactions,
+            "stride-18 loads must multiply transactions (got {} vs {})",
+            ta.ld_transactions,
+            t.ld_transactions
         );
     }
 

@@ -194,6 +194,7 @@ impl KernelCache {
                         inner.map.insert(key, Arc::clone(&kernel));
                         drop(inner);
                         self.telemetry.record_compile(&kernel.name, true, 0.0, 0.0);
+                        self.telemetry.record_persist_hit(&kernel.name);
                         return Ok(kernel);
                     }
                     _ => store.evict_kernel(digest, req.opt_level.tag()),

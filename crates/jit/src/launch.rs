@@ -87,18 +87,35 @@ pub fn launch_tuned_on(
                     run_grid(kernel, args, device.memory(), n_blocks, block);
                 }
                 tuner.report(&kernel.name, block, timing.time);
-                if telemetry.enabled() {
-                    telemetry.record_launch(
+                let settled = tuner.is_settled(&kernel.name);
+                if trial && settled {
+                    // The tuner just settled on this kernel's block size —
+                    // a decision worth keeping in the black box.
+                    telemetry.record_flight(
+                        "tuner_settle",
                         &kernel.name,
+                        &[("block", block as f64)],
+                    );
+                }
+                if telemetry.enabled() || telemetry.flight_enabled() {
+                    telemetry.record_launch_full(&qdp_telemetry::LaunchRecord {
+                        kernel: &kernel.name,
                         block,
                         trial,
-                        tuner.is_settled(&kernel.name),
-                        device.stream_now(stream) - timing.time,
-                        timing.time,
-                        shape.total_bytes() as u64,
-                        shape.total_flops() as u64,
-                        stream.0,
-                    );
+                        settled,
+                        sim_t0: device.stream_now(stream) - timing.time,
+                        sim_dur: timing.time,
+                        read_bytes: (threads * kernel.read_bytes) as u64,
+                        write_bytes: (threads * kernel.write_bytes) as u64,
+                        flops: shape.total_flops() as u64,
+                        stream: stream.0,
+                        ld_transactions: timing.ld_transactions,
+                        st_transactions: timing.st_transactions,
+                        occupancy: timing.occupancy,
+                        waves: timing.waves as u64,
+                        overhead: timing.overhead,
+                        double_precision: kernel.double_precision,
+                    });
                 }
                 return Ok(LaunchOutcome {
                     block_size: block,
@@ -107,12 +124,17 @@ pub fn launch_tuned_on(
                 });
             }
             Err(e @ LaunchError::EmptyGrid) | Err(e @ LaunchError::BlockTooLarge { .. }) => {
+                telemetry.record_flight("launch_fail", &kernel.name, &[("block", block as f64)]);
+                telemetry.dump_flight("launch_failure");
                 return Err(e);
             }
             Err(e @ LaunchError::OutOfRegisters { .. }) => {
                 failed += 1;
                 telemetry.record_launch_failure(&kernel.name, block);
                 if tuner.launch_failed(&kernel.name).is_none() {
+                    // Unrecoverable: even the minimum block exhausts the
+                    // register file. Dump the black box before erroring out.
+                    telemetry.dump_flight("launch_failure");
                     return Err(e);
                 }
             }

@@ -175,7 +175,20 @@ impl KernelStore {
         if inner.kernels.remove(&key).is_some() {
             self.telemetry.count("persist.corrupt", 1);
             self.save(&inner);
+            drop(inner);
+            self.record_corruption("stored kernel failed to lower");
         }
+    }
+
+    /// Note a corruption fallback in the flight recorder and dump the ring:
+    /// store corruption is one of the black-box trigger conditions.
+    fn record_corruption(&self, detail: &str) {
+        self.telemetry.record_flight(
+            "persist_corrupt",
+            &format!("{}: {detail}", self.path.display()),
+            &[],
+        );
+        self.telemetry.dump_flight("persist_corrupt");
     }
 
     /// Settled `(block, time)` for `kernel` on this device, validated
@@ -192,9 +205,12 @@ impl KernelStore {
             inner.tuned.remove(&key);
             self.telemetry.count("persist.corrupt", 1);
             self.save(&inner);
+            drop(inner);
+            self.record_corruption(&format!("tuned block {} out of range for {kernel}", e.block));
             return None;
         }
         self.telemetry.count("persist.tuner_seeded", 1);
+        self.telemetry.record_tuner_seeded(kernel);
         Some((e.block, e.time))
     }
 
@@ -309,12 +325,14 @@ impl KernelStore {
             Ok(v) => v,
             Err(_) => {
                 self.telemetry.count("persist.corrupt", 1);
+                self.record_corruption("store file is not valid JSON");
                 return;
             }
         };
         let version = doc.get("version").and_then(Value::as_f64);
         if version != Some(FORMAT_VERSION as f64) {
             self.telemetry.count("persist.corrupt", 1);
+            self.record_corruption("store file version mismatch");
             return;
         }
         let mut inner = self.inner.lock();
@@ -367,6 +385,7 @@ impl KernelStore {
         drop(inner);
         if corrupt > 0 {
             self.telemetry.count("persist.corrupt", corrupt);
+            self.record_corruption(&format!("{corrupt} malformed store entries skipped"));
         }
     }
 }

@@ -24,8 +24,25 @@ pub struct KernelRow {
     pub sim_time: f64,
     /// Total bytes moved by this kernel (model estimate).
     pub bytes: u64,
+    /// Total bytes read from global memory.
+    pub read_bytes: u64,
+    /// Total bytes written to global memory.
+    pub write_bytes: u64,
     /// Total floating-point operations (model estimate).
     pub flops: u64,
+    /// Total 128-byte global load transactions (hardware-counter model;
+    /// includes the coalescing penalty for strided access).
+    pub ld_transactions: u64,
+    /// Total 128-byte global store transactions.
+    pub st_transactions: u64,
+    /// Occupancy of the most recent launch (resident / max resident).
+    pub occupancy: f64,
+    /// Total grid waves (SM passes) across launches.
+    pub waves: u64,
+    /// Total fixed launch cost (launch overhead + pipeline ramp), seconds.
+    pub overhead: f64,
+    /// Did the kernel run in double precision (most recent launch)?
+    pub double_precision: bool,
     /// Achieved bandwidth over all launches, bytes/second of simulated time.
     pub bandwidth: f64,
     /// Kernel-cache hits for this kernel.
@@ -36,6 +53,38 @@ pub struct KernelRow {
     pub wall_compile_time: f64,
     /// Modelled (simulated nvcc/ptxas) translation seconds.
     pub modeled_compile_time: f64,
+    /// Persistent-store hits (PTX served from disk, not recompiled).
+    pub persist_hits: u64,
+    /// Was the tuned block size seeded from the persistent store?
+    pub tuner_seeded: bool,
+}
+
+impl KernelRow {
+    /// Simulated time in the streaming phase (total minus fixed launch
+    /// costs) — the denominator of the paper's bandwidth plots.
+    pub fn stream_time(&self) -> f64 {
+        (self.sim_time - self.overhead).max(0.0)
+    }
+
+    /// Streaming-phase bandwidth, bytes/second: launch overhead and ramp
+    /// excluded, comparable against the device's sustained peak.
+    pub fn stream_bandwidth(&self) -> f64 {
+        let t = self.stream_time();
+        if t > 0.0 {
+            self.bytes as f64 / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Share of simulated time lost to fixed launch costs, in [0, 1].
+    pub fn overhead_share(&self) -> f64 {
+        if self.sim_time > 0.0 {
+            (self.overhead / self.sim_time).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Aggregate JIT-cache summary across all kernels.
@@ -78,6 +127,11 @@ pub struct HistSnapshot {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
+    /// Median estimate (log-bucketed, ~12% relative error; exact for
+    /// single-sample and constant series).
+    pub p50: f64,
+    /// 99th-percentile estimate (same bucketing).
+    pub p99: f64,
 }
 
 impl HistSnapshot {
@@ -189,13 +243,14 @@ impl fmt::Display for ProfileReport {
         if !self.kernels.is_empty() {
             writeln!(
                 f,
-                "{:<26} {:>8} {:>6} {:>5} {:>6} {:>7} {:>11} {:>11} {:>8}",
-                "kernel", "launches", "trial", "fail", "block", "settled", "sim time s", "bytes", "GB/s"
+                "{:<26} {:>8} {:>6} {:>5} {:>6} {:>7} {:>11} {:>11} {:>8} {:>5} {:>5} {:>5} {:>5}",
+                "kernel", "launches", "trial", "fail", "block", "settled", "sim time s", "bytes",
+                "GB/s", "occ", "ovh%", "phit", "seed"
             )?;
             for k in &self.kernels {
                 writeln!(
                     f,
-                    "{:<26} {:>8} {:>6} {:>5} {:>6} {:>7} {:>11} {:>11} {:>8.1}",
+                    "{:<26} {:>8} {:>6} {:>5} {:>6} {:>7} {:>11} {:>11} {:>8.1} {:>5.2} {:>5.1} {:>5} {:>5}",
                     k.name,
                     k.launches,
                     k.trial_launches,
@@ -205,6 +260,10 @@ impl fmt::Display for ProfileReport {
                     eng(k.sim_time),
                     bytes_h(k.bytes),
                     k.bandwidth / 1e9,
+                    k.occupancy,
+                    k.overhead_share() * 100.0,
+                    k.persist_hits,
+                    if k.tuner_seeded { "yes" } else { "no" },
                 )?;
             }
         }
@@ -221,14 +280,16 @@ impl fmt::Display for ProfileReport {
             }
         }
         if !self.hists.is_empty() {
-            writeln!(f, "--- histograms (count / mean / min / max) ---")?;
+            writeln!(f, "--- histograms (count / mean / p50 / p99 / min / max) ---")?;
             for (name, h) in &self.hists {
                 writeln!(
                     f,
-                    "{:<40} {:>7} {:>11} {:>11} {:>11}",
+                    "{:<40} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11}",
                     name,
                     h.count,
                     eng(h.mean()),
+                    eng(h.p50),
+                    eng(h.p99),
                     eng(if h.count == 0 { 0.0 } else { h.min }),
                     eng(if h.count == 0 { 0.0 } else { h.max }),
                 )?;
@@ -283,7 +344,15 @@ pub(crate) fn build(inner: &crate::Inner) -> ProfileReport {
                 settled: k.settled,
                 sim_time: k.sim_time,
                 bytes: k.bytes,
+                read_bytes: k.read_bytes,
+                write_bytes: k.write_bytes,
                 flops: k.flops,
+                ld_transactions: k.ld_transactions,
+                st_transactions: k.st_transactions,
+                occupancy: k.occupancy,
+                waves: k.waves,
+                overhead: k.overhead,
+                double_precision: k.double_precision,
                 bandwidth: if k.sim_time > 0.0 {
                     k.bytes as f64 / k.sim_time
                 } else {
@@ -293,6 +362,8 @@ pub(crate) fn build(inner: &crate::Inner) -> ProfileReport {
                 jit_misses: k.jit_misses,
                 wall_compile_time: k.wall_compile_time,
                 modeled_compile_time: k.modeled_compile_time,
+                persist_hits: k.persist_hits,
+                tuner_seeded: k.tuner_seeded,
             }
         })
         .collect();
@@ -318,6 +389,8 @@ pub(crate) fn build(inner: &crate::Inner) -> ProfileReport {
                         sum: h.sum,
                         min: h.min,
                         max: h.max,
+                        p50: h.quantile(0.50),
+                        p99: h.quantile(0.99),
                     },
                 )
             })

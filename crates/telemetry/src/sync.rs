@@ -17,8 +17,8 @@ pub struct Mutex<T: ?Sized> {
 }
 
 impl<T> Mutex<T> {
-    /// Wrap `value` in a new lock.
-    pub fn new(value: T) -> Mutex<T> {
+    /// Wrap `value` in a new lock (const, so statics can hold one).
+    pub const fn new(value: T) -> Mutex<T> {
         Mutex {
             inner: std::sync::Mutex::new(value),
         }
