@@ -118,6 +118,21 @@ cargo run --release --offline -p qdp-conformance --bin conformance -- \
     sweep --cases 200 --ft both --opt-diff
 echo "ok: optimizer conformance (QDP_OPT=1, QDP_OPT=0, opt-diff)"
 
+# ---- Kernel fusion ----------------------------------------------------------
+# Three contracts. (1) fuse-diff: random statement *sequences* (shared
+# leaves, producer->consumer chains, shifted reads, write-after-write
+# hazards) evaluated through the fusion planner and per-expression must
+# agree bit-for-bit (0 ULP). (2) The launch-count guard: a 10-iteration CG
+# under QDP_FUSE=1 must issue >=30% fewer launches with bit-identical
+# results. (3) QDP_FUSE=0 must reproduce the exact pre-fusion launch
+# sequence — the guard tests cover both, and the chroma-mini solver test
+# pins fused-vs-unfused CG bit-exactness end to end.
+cargo run --release --offline -p qdp-conformance --bin conformance -- \
+    sweep --cases 200 --ft both --fuse-diff
+cargo test -q --release --offline -p qdp-core --test fusion
+QDP_FUSE=0 cargo test -q --release --offline -p chroma-mini --lib solver
+echo "ok: kernel fusion (fuse-diff 0-ULP sweep + launch-count guard + QDP_FUSE=0 bit-exactness)"
+
 # ---- Persistent kernel cache: cold vs warm across processes ----------------
 # Two fresh processes share one QDP_CACHE_DIR. The first (cold) compiles,
 # optimizes and tunes the dslash kernel and persists the results; the
@@ -183,6 +198,8 @@ grep -q '"dslash_eval_opt_on_cold"' BENCH_framework.json
 grep -q '"dslash_eval_opt_on_warm"' BENCH_framework.json
 grep -q '"overlap_traj_time_ms_legacy"' BENCH_framework.json
 grep -q '"overlap_traj_time_ms_stream"' BENCH_framework.json
-echo "ok: framework bench recorded optimizer before/after, cold/warm persist + overlap legacy-vs-stream rows"
+grep -q '"cg_10_iterations_fused_vs_unfused"' BENCH_framework.json
+grep -q '"fuse_launches_saved_pct"' BENCH_framework.json
+echo "ok: framework bench recorded optimizer before/after, cold/warm persist, overlap legacy-vs-stream + fusion before/after rows"
 
-echo "ci.sh: all green (offline build + workspace tests + stream engine + observability smoke + conformance + optimizer + persist + perf gate + bench)"
+echo "ci.sh: all green (offline build + workspace tests + stream engine + observability smoke + conformance + optimizer + fusion + persist + perf gate + bench)"

@@ -119,6 +119,49 @@ fn bench_cg_iteration(c: &mut Harness) {
     });
 }
 
+/// Graph-level fusion before/after: a 10-iteration CG on 4⁴ run twice on
+/// fresh contexts, once with the fusion planner on and once with
+/// `QDP_FUSE=0` semantics. Both metrics come from the deterministic
+/// simulation — the simulated-time ratio `cg_10_iterations_fused_vs_unfused`
+/// (< 1 means fusion wins; lower is better) and the launch-count saving
+/// `fuse_launches_saved_pct` (higher is better) — so the `--compare` gate
+/// holds them to the deterministic floor.
+fn bench_fusion(c: &mut Harness) {
+    use qdp_telemetry::Telemetry;
+    fn run(fuse: bool) -> (f64, f64) {
+        let tel = Arc::new(Telemetry::new());
+        tel.enable();
+        let ctx = QdpContext::with_telemetry(
+            DeviceConfig::k20x_ecc_off(),
+            Geometry::symmetric(4),
+            LayoutKind::SoA,
+            Arc::clone(&tel),
+        );
+        ctx.set_fuse(Some(fuse));
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = chroma_mini::gauge::GaugeField::warm(&ctx, &mut rng, 0.25);
+        let m = chroma_mini::fermion::WilsonDirac::new(&g, 0.3, None);
+        let b_rhs = chroma_mini::gauge::gaussian_fermion(&ctx, &mut rng);
+        let launches = |tel: &Telemetry| -> u64 {
+            tel.profile_report().kernels.iter().map(|k| k.launches).sum()
+        };
+        // warm pass: compile every kernel, settle the tuner
+        let x0 = LatticeFermion::<f64>::new(&ctx);
+        chroma_mini::solver::cg_solve(&m, &x0, &b_rhs, 1e-30, 10).unwrap();
+        // timed pass: launch-bound by construction
+        let x = LatticeFermion::<f64>::new(&ctx);
+        let l0 = launches(&tel);
+        let t0 = ctx.device().now();
+        chroma_mini::solver::cg_solve(&m, &x, &b_rhs, 1e-30, 10).unwrap();
+        let t = ctx.device().now() - t0;
+        (t, (launches(&tel) - l0) as f64)
+    }
+    let (t_fused, l_fused) = run(true);
+    let (t_plain, l_plain) = run(false);
+    c.record_value("cg_10_iterations_fused_vs_unfused", t_fused / t_plain);
+    c.record_value("fuse_launches_saved_pct", 100.0 * (1.0 - l_fused / l_plain));
+}
+
 /// Kernel-optimizer before/after: the full 4-direction Wilson hopping term
 /// evaluated with the optimizer off (`o0`) and at its default level
 /// (`o1`). The optimized kernel issues roughly half the `ld.global`s, so
@@ -326,6 +369,7 @@ pub fn run_all(h: &mut Harness) {
     bench_interpreter(h);
     bench_cache_ops(h);
     bench_cg_iteration(h);
+    bench_fusion(h);
     bench_reduction(h);
     bench_optimizer(h);
     bench_persist(h);

@@ -89,9 +89,9 @@ pub enum Direction {
     HigherIsBetter,
 }
 
-/// Times improve downward; bandwidths and gains improve upward.
+/// Times improve downward; bandwidths, gains and savings improve upward.
 pub fn direction_for(name: &str) -> Direction {
-    if name.contains("bandwidth") || name.contains("gain") {
+    if name.contains("bandwidth") || name.contains("gain") || name.contains("saved") {
         Direction::HigherIsBetter
     } else {
         Direction::LowerIsBetter
@@ -266,6 +266,14 @@ mod tests {
         );
         assert_eq!(
             direction_for("overlap_traj_time_ms_stream"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_for("fuse_launches_saved_pct"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("cg_10_iterations_fused_vs_unfused"),
             Direction::LowerIsBetter
         );
     }

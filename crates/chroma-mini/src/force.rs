@@ -76,15 +76,21 @@ pub fn two_flavor_force(
 }
 
 /// Accumulate `dst_µ += scale · src_µ`.
+///
+/// The four per-direction updates are independent (distinct targets, no
+/// shifts), so under `QDP_FUSE=1` they are recorded into one deferred
+/// scope and fuse into a single four-output kernel.
 pub fn axpy_forces(
     dst: &Multi1d<LatticeColorMatrix<f64>>,
     scale: f64,
     src: &Multi1d<LatticeColorMatrix<f64>>,
 ) -> Result<(), CoreError> {
+    let ctx = dst[0].context();
+    let mut scope = ctx.deferred();
     for mu in 0..4 {
-        dst[mu].assign(dst[mu].q() + scale * src[mu].q())?;
+        scope.assign(&dst[mu], dst[mu].q() + scale * src[mu].q())?;
     }
-    Ok(())
+    scope.flush()
 }
 
 #[cfg(test)]

@@ -189,10 +189,19 @@ pub fn refresh_momenta(
 }
 
 /// Kinetic energy `T = ½ Σ_{x,µ} ‖P_µ(x)‖²_F`.
+///
+/// The four per-direction norms are batched through a deferred scope:
+/// under `QDP_FUSE=1` the local-norm temporaries fuse into one
+/// four-output kernel sharing a single reduction pass (one launch
+/// instead of four). The host-side sum order is unchanged, so the
+/// result is bit-identical to the per-direction loop.
 pub fn kinetic_energy(p: &Multi1d<LatticeColorMatrix<f64>>) -> Result<f64, CoreError> {
+    let ctx = p[0].context();
+    let mut scope = ctx.deferred();
+    let n2 = scope.norm2_batch(&[&p[0], &p[1], &p[2], &p[3]])?;
     let mut t = 0.0;
-    for mu in 0..4 {
-        t += 0.5 * p[mu].norm2()?;
+    for v in n2 {
+        t += 0.5 * v;
     }
     Ok(t)
 }

@@ -1,7 +1,7 @@
 //! Conformance driver: differential sweeps and the PTX mutation fuzzer.
 //!
 //! ```text
-//! conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D] [--opt-diff]
+//! conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D] [--opt-diff|--fuse-diff]
 //! conformance fuzz  [--budget-ms MS] [--seed S]
 //! conformance replay --seed MASTER [--ft f32|f64] [--pressure]
 //! ```
@@ -10,18 +10,23 @@
 //! first mismatch (the failure message carries the replayable case seed).
 //! With `--opt-diff` the sweep compares the JIT pipeline against itself
 //! (optimizer on vs off, 0-ULP contract) instead of against the reference.
+//! With `--fuse-diff` it generates statement *sequences* and compares the
+//! fusion planner's grouped launches against per-expression evaluation
+//! (also a 0-ULP contract).
 //! `replay` re-runs a sweep under a specific master seed reported by a
 //! failure. `fuzz` time-boxes the PTX mutation fuzzer and exits non-zero
 //! if any mutant panicked or broke round-trip.
 
-use qdp_conformance::{differential_sweep, opt_differential_sweep, run_fuzz, SweepConfig};
+use qdp_conformance::{
+    differential_sweep, fuse_differential_sweep, opt_differential_sweep, run_fuzz, SweepConfig,
+};
 use qdp_types::FloatType;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D] [--opt-diff]\n  \
+        "usage:\n  conformance sweep [--cases N] [--ft f32|f64|both] [--pressure] [--depth D] [--opt-diff|--fuse-diff]\n  \
          conformance fuzz  [--budget-ms MS] [--seed S]\n  \
          conformance replay --seed MASTER [--ft f32|f64] [--pressure]"
     );
@@ -80,17 +85,22 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     let depth: usize = args.num("--depth", 4);
     let pressure = args.has("--pressure");
     let opt_diff = args.has("--opt-diff");
+    let fuse_diff = args.has("--fuse-diff");
     for ft in parse_fts(args.get("--ft").unwrap_or("both")) {
         let mut cfg = SweepConfig::new(cases, ft, pressure);
         cfg.max_depth = depth;
         let label = if opt_diff {
             format!("opt_{}", cfg.name)
+        } else if fuse_diff {
+            format!("fuse_{}", cfg.name)
         } else {
             cfg.name.clone()
         };
         println!("conformance: sweep {label} ({cases} cases, depth ≤ {depth})");
         if opt_diff {
             opt_differential_sweep(&cfg);
+        } else if fuse_diff {
+            fuse_differential_sweep(&cfg);
         } else {
             differential_sweep(&cfg);
         }

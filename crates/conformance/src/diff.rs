@@ -1,12 +1,13 @@
 //! The differential executor: JIT pipeline vs CPU reference, ULP-compared.
 
 use crate::fixture::Fixture;
-use crate::gen::{gen_typed_expr, random_target_kind};
+use crate::gen::{gen_stmt_sequence, gen_typed_expr, random_target_kind};
 use qdp_core::OptLevel;
-use qdp_expr::Expr;
+use qdp_expr::{Expr, FieldRef};
 use qdp_layout::Subset;
 use qdp_proptest::{check, CaseError, Config, Gen};
 use qdp_types::FloatType;
+use std::collections::{HashMap, HashSet};
 
 /// Site selection for one differential case.
 #[derive(Debug, Clone)]
@@ -173,6 +174,124 @@ pub fn opt_diff_case(fx: &Fixture, expr: &Expr, sites: &SiteSel) -> Result<u64, 
     fx.release(opt_t);
     fx.release(plain_t);
     result
+}
+
+/// Rebuild `e` with every field leaf remapped through `map` (by id) —
+/// used to instantiate one generated statement sequence against a second,
+/// disjoint set of target fields so the fused and per-expression runs
+/// never read each other's outputs.
+fn subst_fields(e: &Expr, map: &HashMap<u64, FieldRef>) -> Expr {
+    let sub = |f: &FieldRef| map.get(&f.id).copied().unwrap_or(*f);
+    match e {
+        Expr::Field(f) => Expr::Field(sub(f)),
+        Expr::Scalar { .. } => e.clone(),
+        Expr::Unary(op, c) => Expr::Unary(*op, Box::new(subst_fields(c, map))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(subst_fields(a, map)),
+            Box::new(subst_fields(b, map)),
+        ),
+        Expr::Shift { mu, dir, child } => Expr::Shift {
+            mu: *mu,
+            dir: *dir,
+            child: Box::new(subst_fields(child, map)),
+        },
+        Expr::GammaMul { gamma, child } => Expr::GammaMul {
+            gamma: *gamma,
+            child: Box::new(subst_fields(child, map)),
+        },
+        Expr::CloverApply { diag, tri, child } => Expr::CloverApply {
+            diag: sub(diag),
+            tri: sub(tri),
+            child: Box::new(subst_fields(child, map)),
+        },
+    }
+}
+
+/// Run one statement *sequence* through the fusion planner and, against a
+/// disjoint set of targets, through plain per-expression evaluation in
+/// recording order. Returns the worst ULP distance across all target
+/// buffers. The fused path must be **bit-identical** (0 ULP): fusion only
+/// changes launch grouping, never per-site arithmetic.
+pub fn fuse_diff_case(fx: &Fixture, stmts: &[(FieldRef, Expr)]) -> Result<u64, String> {
+    // Second target set for the per-expression run, aliased the same way
+    // (a repeated fused target maps to the same repeated plain target).
+    let mut map: HashMap<u64, FieldRef> = HashMap::new();
+    for (t, _) in stmts {
+        map.entry(t.id).or_insert_with(|| fx.fresh_target(t.kind));
+    }
+    let run = || -> Result<u64, String> {
+        qdp_core::eval_fused_sequence(&fx.ctx, stmts)
+            .map_err(|e| format!("fused sequence eval failed: {e:?}"))?;
+        for (t, e) in stmts {
+            let plain = subst_fields(e, &map);
+            qdp_core::eval(
+                &fx.ctx,
+                map[&t.id],
+                &plain,
+                &qdp_core::EvalParams::new().subset(Subset::All),
+            )
+            .map_err(|e| format!("per-expression eval failed: {e:?}"))?;
+        }
+        let mut worst = 0u64;
+        for (fused_id, plain) in &map {
+            let a = fx
+                .ctx
+                .cache()
+                .with_host(*fused_id, |h| h.to_vec())
+                .map_err(|e| format!("fused target readback: {e}"))?;
+            let b = fx
+                .ctx
+                .cache()
+                .with_host(plain.id, |h| h.to_vec())
+                .map_err(|e| format!("plain target readback: {e}"))?;
+            worst = worst.max(max_ulp_distance(fx.ft, &a, &b));
+        }
+        Ok(worst)
+    };
+    let result = run();
+    for (_, plain) in map {
+        fx.release(plain);
+    }
+    result
+}
+
+/// Run a fused-vs-per-expression differential sweep: `cfg.cases` random
+/// statement sequences (shared leaves, producer→consumer chains, shifted
+/// reads and write-after-write hazards), each executed once through
+/// [`qdp_core::eval_fused_sequence`] and once statement-by-statement,
+/// required to agree **bit-for-bit** (0 ULP).
+pub fn fuse_differential_sweep(cfg: &SweepConfig) {
+    let fx = if cfg.pressure {
+        Fixture::pressure(cfg.ft, 0xF05ED)
+    } else {
+        Fixture::normal(cfg.ft, 0xF05ED)
+    };
+    check(
+        &format!("fuse_{}", cfg.name),
+        Config::cases(cfg.cases),
+        |g| {
+            if cfg.pressure {
+                fx.churn();
+            }
+            let stmts = gen_stmt_sequence(g, &fx, cfg.max_depth);
+            let result = fuse_diff_case(&fx, &stmts);
+            let mut seen = HashSet::new();
+            for (t, _) in &stmts {
+                if seen.insert(t.id) {
+                    fx.release(*t);
+                }
+            }
+            let max_ulp = result.map_err(CaseError::fail)?;
+            if max_ulp > 0 {
+                return Err(CaseError::fail(format!(
+                    "fused and per-expression evaluation disagree by {max_ulp} ULPs \
+                     (must be bit-identical) on sequence: {stmts:?}"
+                )));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Run an optimized-vs-unoptimized differential sweep: `cfg.cases` random

@@ -8,7 +8,7 @@
 //! leaves are unit-scale so magnitudes stay well-conditioned.
 
 use crate::fixture::Fixture;
-use qdp_expr::{BinaryOp, Expr, ShiftDir, UnaryOp};
+use qdp_expr::{BinaryOp, Expr, FieldRef, ShiftDir, UnaryOp};
 use qdp_proptest::Gen;
 use qdp_types::{ElemKind, Gamma};
 
@@ -33,6 +33,53 @@ pub fn gen_typed_expr(g: &mut Gen, fx: &Fixture, kind: ElemKind, depth: usize) -
         ElemKind::Real => gen_real(g, fx, depth),
         other => panic!("no generator for target kind {other:?}"),
     }
+}
+
+/// Generate a deferred statement sequence for the fuse-diff harness:
+/// 2–4 statements over fixture leaves (shared across statements), where
+/// later statements read earlier targets — unshifted producer→consumer
+/// chains the planner should fuse, shifted reads it must bail out on —
+/// and occasionally rewrite an earlier target (a write-after-write the
+/// planner must split on). Targets are freshly registered zeroed scratch
+/// fields; the caller releases them.
+pub fn gen_stmt_sequence(
+    g: &mut Gen,
+    fx: &Fixture,
+    max_depth: usize,
+) -> Vec<(FieldRef, Expr)> {
+    let n = g.usize_in(2..5);
+    let mut out: Vec<(FieldRef, Expr)> = Vec::new();
+    for _ in 0..n {
+        let kind = random_target_kind(g);
+        let depth = g.depth(max_depth);
+        let mut expr = gen_typed_expr(g, fx, kind, depth);
+        let peers: Vec<FieldRef> = out
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| t.kind == kind)
+            .collect();
+        // Half the time, chain an earlier target into this statement's
+        // rhs — mostly unshifted (fusable), sometimes shifted (the race
+        // the legality rules exist to prevent).
+        if !peers.is_empty() && g.any_bool() {
+            let dep = Expr::Field(peers[g.usize_in(0..peers.len())]);
+            let dep = if g.usize_in(0..4) == 0 {
+                shift(g, dep)
+            } else {
+                dep
+            };
+            expr = bin(BinaryOp::Add, expr, dep);
+        }
+        // Occasionally write an earlier target again instead of a fresh
+        // one: write-after-write, which must split the group.
+        let target = if !peers.is_empty() && g.usize_in(0..8) == 0 {
+            peers[g.usize_in(0..peers.len())]
+        } else {
+            fx.fresh_target(kind)
+        };
+        out.push((target, expr));
+    }
+    out
 }
 
 fn shift(g: &mut Gen, child: Expr) -> Expr {

@@ -28,8 +28,9 @@ pub mod fuzz;
 pub mod gen;
 
 pub use diff::{
-    differential_sweep, max_ulps, opt_diff_case, opt_differential_sweep, SiteSel, SweepConfig,
+    differential_sweep, fuse_diff_case, fuse_differential_sweep, max_ulps, opt_diff_case,
+    opt_differential_sweep, SiteSel, SweepConfig,
 };
 pub use fixture::Fixture;
 pub use fuzz::{run_fuzz, FuzzOutcome};
-pub use gen::{gen_typed_expr, random_target_kind};
+pub use gen::{gen_stmt_sequence, gen_typed_expr, random_target_kind};

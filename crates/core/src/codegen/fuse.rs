@@ -1,0 +1,795 @@
+//! Graph-level kernel fusion: deferred evaluation scopes, the legality
+//! planner, and multi-statement kernel launch.
+//!
+//! The paper's framework compiles *one kernel per expression* (§III), which
+//! leaves solvers issuing long chains of small axpy/norm launches — the
+//! launch-overhead wall the hand-tuned QUDA kernels sidestep by fusing.
+//! This module recovers most of that headroom without hand-written kernels:
+//! a [`FusionScope`] records assignments and reductions instead of
+//! launching them, and on flush a planner walks the recorded sequence and
+//! groups producer→consumer statements into single fused kernels whenever
+//! the target layouts, subsets and streams permit.
+//!
+//! # Legality
+//!
+//! A statement may join the open group only if **all** of the following
+//! hold; otherwise the group is closed (`fuse.bailouts`) and the statement
+//! starts a new one:
+//!
+//! - same subset and same stream as the group (a fused kernel is one
+//!   launch: one site list, one stream);
+//! - not a site-list evaluation (explicit site lists never fuse);
+//! - same compute precision (one fused kernel body has one compute type);
+//! - it does not read any group target **under a shift** (the fused kernel
+//!   runs all statements per thread — a shifted read of a freshly written
+//!   field would observe a mix of old and new neighbour values);
+//! - no earlier group statement reads *its* target under a shift (same
+//!   race, mirrored);
+//! - its target is not already written by the group (aliasing write).
+//!
+//! Unshifted reads of earlier group targets are legal and are the whole
+//! point: the consumer's load from its own site happens after the
+//! producer's store in the same thread, so `tmp = a+b; n2 = |tmp|²` fuses
+//! into one kernel with bit-identical results.
+//!
+//! Independent reduction temporaries recorded back-to-back (e.g.
+//! [`FusionScope::norm2_batch`]) fuse the same way into one multi-output
+//! kernel, and their tree-reduction passes are accounted as a single
+//! combined pass.
+//!
+//! Fusion is on by default; `QDP_FUSE=0` (or
+//! [`crate::QdpContext::set_fuse`]) turns every deferred call back into an
+//! immediate per-expression [`crate::eval`] — bit-exactly the pre-fusion
+//! behaviour, same kernels, same launch sequence.
+
+use crate::codegen::backend::Backend;
+use crate::codegen::cse::CseBackend;
+use crate::codegen::ptx_backend::{FusedStmtMeta, KernelEnv, PtxGen};
+use crate::codegen::value::{gen_expr, store_val, GenCtx};
+use crate::context::QdpContext;
+use crate::eval::{self, plan_codegen_at, CoreError, EvalParams};
+use crate::field::{Lattice, QExpr, SiteElem, SiteReal};
+use qdp_expr::{BinaryOp, Expr, FieldRef, ShiftDir, UnaryOp};
+use qdp_gpu_sim::{KernelShape, StreamId};
+use qdp_jit::{launch_tuned_on, CompileRequest, LaunchArg};
+use qdp_layout::{FieldLayout, LayoutKind, Subset};
+use qdp_ptx::emit::emit_module;
+use qdp_ptx::module::Module;
+use qdp_ptx::opt::OptLevel;
+use qdp_types::{Complex, ElemKind, FloatType, Real, TypeShape};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Most statements a single fused kernel may hold (register pressure and
+/// parameter-space guard; a split on this budget is not a bailout).
+const MAX_GROUP: usize = 8;
+
+/// Site coverage of one recorded statement.
+#[derive(Debug, Clone)]
+enum StmtSites {
+    Subset(Subset),
+    List(Vec<u32>),
+}
+
+/// One recorded deferred statement: `target ← expr` over `sites` on
+/// `stream`.
+#[derive(Debug, Clone)]
+struct Stmt {
+    target: FieldRef,
+    expr: Expr,
+    sites: StmtSites,
+    stream: StreamId,
+}
+
+fn compute_ft(s: &Stmt) -> FloatType {
+    if s.expr.float_type() == FloatType::F64 || s.target.ft == FloatType::F64 {
+        FloatType::F64
+    } else {
+        FloatType::F32
+    }
+}
+
+/// Why a statement could not join the open group.
+enum Split {
+    /// A legality rule failed — counted in `fuse.bailouts`.
+    Bailout(&'static str),
+    /// The group-size budget is full — a planned split, not a bailout.
+    Budget,
+}
+
+/// The open group's accumulated legality state.
+struct GroupState {
+    /// `None` when the group is a site-list singleton (never joinable).
+    subset: Option<Subset>,
+    stream: StreamId,
+    ft: FloatType,
+    /// Targets written by the group, in statement order.
+    targets: Vec<u64>,
+    /// Fields read under a shift by any group statement.
+    hazards: Vec<u64>,
+    len: usize,
+}
+
+impl GroupState {
+    fn open(s: &Stmt) -> GroupState {
+        let subset = match &s.sites {
+            StmtSites::Subset(sub) => Some(*sub),
+            StmtSites::List(_) => None,
+        };
+        GroupState {
+            subset,
+            stream: s.stream,
+            ft: compute_ft(s),
+            targets: vec![s.target.id],
+            hazards: s
+                .expr
+                .leaves_under_any_shift()
+                .iter()
+                .map(|r| r.id)
+                .collect(),
+            len: 1,
+        }
+    }
+
+    fn try_join(&mut self, s: &Stmt) -> Result<(), Split> {
+        let subset = match &s.sites {
+            StmtSites::Subset(sub) => *sub,
+            StmtSites::List(_) => return Err(Split::Bailout("site-list")),
+        };
+        let Some(g_subset) = self.subset else {
+            return Err(Split::Bailout("site-list"));
+        };
+        if subset != g_subset {
+            return Err(Split::Bailout("subset"));
+        }
+        if s.stream != self.stream {
+            return Err(Split::Bailout("stream"));
+        }
+        if compute_ft(s) != self.ft {
+            return Err(Split::Bailout("float-type"));
+        }
+        let shifted = s.expr.leaves_under_any_shift();
+        if shifted.iter().any(|r| self.targets.contains(&r.id)) {
+            return Err(Split::Bailout("shift-of-group-target"));
+        }
+        if self.hazards.contains(&s.target.id) {
+            return Err(Split::Bailout("target-shifted-earlier"));
+        }
+        if self.targets.contains(&s.target.id) {
+            return Err(Split::Bailout("aliased-target"));
+        }
+        if self.len >= MAX_GROUP {
+            return Err(Split::Budget);
+        }
+        self.targets.push(s.target.id);
+        for r in &shifted {
+            if !self.hazards.contains(&r.id) {
+                self.hazards.push(r.id);
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+}
+
+/// Walk the statement sequence and partition it into contiguous groups,
+/// counting legality bailouts. Order is preserved: groups launch in record
+/// order.
+fn plan_groups(ctx: &QdpContext, stmts: &[Stmt]) -> Vec<std::ops::Range<usize>> {
+    let tel = ctx.telemetry();
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    let mut state: Option<GroupState> = None;
+    for (i, s) in stmts.iter().enumerate() {
+        match state.as_mut() {
+            None => state = Some(GroupState::open(s)),
+            Some(g) => match g.try_join(s) {
+                Ok(()) => {}
+                Err(split) => {
+                    if let Split::Bailout(reason) = split {
+                        tel.count("fuse.bailouts", 1);
+                        tel.count(&format!("fuse.bailout.{reason}"), 1);
+                    }
+                    groups.push(start..i);
+                    start = i;
+                    state = Some(GroupState::open(s));
+                }
+            },
+        }
+    }
+    if state.is_some() {
+        groups.push(start..stmts.len());
+    }
+    groups
+}
+
+/// The codegen-facing description of one fused group: shared environment,
+/// union leaf/shift tables, per-statement metadata and the composite key.
+struct FusedPlan {
+    env: KernelEnv,
+    union_leaves: Vec<FieldRef>,
+    union_shifts: Vec<(usize, ShiftDir)>,
+    metas: Vec<FusedStmtMeta>,
+    /// Per-statement scalar complexity flags (launch marshalling).
+    per_flags: Vec<Vec<bool>>,
+    ft: FloatType,
+    key: String,
+    name: String,
+    opt: OptLevel,
+}
+
+/// Build the fused plan for a group of `(target, expr)` statements over one
+/// subset. The composite key concatenates the per-statement structural keys
+/// (each already covering expression structure, geometry, layout, subset
+/// mapping, target type and optimizer level), so the fused kernel's JIT and
+/// persist-cache identity is exactly as stable as its parts.
+fn plan_fused(
+    ctx: &QdpContext,
+    stmts: &[(FieldRef, &Expr)],
+    subset_mapped: bool,
+    opt: OptLevel,
+) -> Result<FusedPlan, CoreError> {
+    assert!(stmts.len() >= 2, "fused plan needs at least two statements");
+    let mut union_leaves: Vec<FieldRef> = Vec::new();
+    let mut union_shifts: Vec<(usize, ShiftDir)> = Vec::new();
+    let mut metas = Vec::new();
+    let mut per_flags = Vec::new();
+    let mut scalar_complex = Vec::new();
+    let mut keys = Vec::new();
+    let mut ft = FloatType::F32;
+    for &(target, expr) in stmts {
+        let p = plan_codegen_at(ctx, target, expr, subset_mapped, false, opt)?;
+        for l in &p.leaves {
+            if !union_leaves.iter().any(|x| x.id == l.id) {
+                union_leaves.push(*l);
+            }
+        }
+        for sh in &p.shifts {
+            if !union_shifts.contains(sh) {
+                union_shifts.push(*sh);
+            }
+        }
+        metas.push(FusedStmtMeta {
+            target_ft: target.ft,
+            target_shape: TypeShape::of(target.kind),
+            n_scalars: p.flags.len(),
+        });
+        scalar_complex.extend_from_slice(&p.flags);
+        per_flags.push(p.flags);
+        keys.push(p.key);
+        ft = if p.ft == FloatType::F64 { FloatType::F64 } else { ft };
+    }
+    let vol = ctx.geometry().vol();
+    let dims = ctx.geometry().dims();
+    let env = KernelEnv {
+        n_sites: vol,
+        layout: ctx.layout(),
+        ft,
+        subset_mapped,
+        remote_shifts: false,
+        face_vols: std::array::from_fn(|mu| vol / dims[mu]),
+        shifts: union_shifts.clone(),
+        scalar_complex,
+        target_ft: stmts[0].0.ft,
+        target_shape: TypeShape::of(stmts[0].0.kind),
+    };
+    let key = format!("fused[{}]", keys.join(" ; "));
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let name = format!("qdpf_{:016x}", h.finish());
+    Ok(FusedPlan {
+        env,
+        union_leaves,
+        union_shifts,
+        metas,
+        per_flags,
+        ft,
+        key,
+        name,
+        opt,
+    })
+}
+
+/// Unparse a fused group into one PTX module under `plan`, with an explicit
+/// kernel name. Each statement's walk runs with a **fresh** CSE scope (a
+/// store invalidates memoised loads of the stored field — the per-statement
+/// reset keeps producer→consumer loads exact) over the shared union leaf
+/// table; the backend's `begin_stmt` switches the destination and scalar
+/// window between statements.
+fn render_fused_ptx(
+    plan: &FusedPlan,
+    exprs: &[&Expr],
+    kernel_name: &str,
+) -> Result<String, CoreError> {
+    let mut g = PtxGen::new_fused(kernel_name, &plan.env, &plan.union_leaves, &plan.metas);
+    for (i, expr) in exprs.iter().enumerate() {
+        g.begin_stmt(i);
+        let mut cx = GenCtx::new(&plan.union_leaves);
+        if plan.opt.dag_cse() {
+            let mut b = CseBackend::new(g);
+            let v = gen_expr(expr, &mut b, &mut cx);
+            store_val(&mut b, &v);
+            if let Some(f) = b.fault() {
+                return Err(CoreError::Codegen(f.to_string()));
+            }
+            g = b.into_inner();
+        } else {
+            let v = gen_expr(expr, &mut g, &mut cx);
+            store_val(&mut g, &v);
+            if let Some(f) = g.fault() {
+                return Err(CoreError::Codegen(f.to_string()));
+            }
+        }
+    }
+    Ok(emit_module(&Module::with_kernel(g.finish())))
+}
+
+/// Generate the PTX text the fusion pipeline would run for a group of
+/// statements over `subset`, under a caller-chosen kernel name. Pure
+/// codegen (nothing is compiled, cached or launched) — the fused twin of
+/// [`crate::codegen_ptx`], used by the golden-snapshot tests.
+pub fn codegen_fused_ptx(
+    ctx: &QdpContext,
+    stmts: &[(FieldRef, Expr)],
+    subset: Subset,
+    kernel_name: &str,
+) -> Result<String, CoreError> {
+    let refs: Vec<(FieldRef, &Expr)> = stmts.iter().map(|(t, e)| (*t, e)).collect();
+    let plan = plan_fused(ctx, &refs, subset != Subset::All, ctx.opt_level())?;
+    let exprs: Vec<&Expr> = stmts.iter().map(|(_, e)| e).collect();
+    render_fused_ptx(&plan, &exprs, kernel_name)
+}
+
+/// Launch one fused group (≥ 2 statements, uniform subset/stream by
+/// construction). Mirrors the single-expression launch path: structural PTX
+/// cache → JIT cache → page-in → marshal → tuned launch → dirty marks.
+fn launch_group(ctx: &QdpContext, stmts: &[Stmt]) -> Result<(), CoreError> {
+    let (subset, stream) = match (&stmts[0].sites, stmts[0].stream) {
+        (StmtSites::Subset(s), st) => (*s, st),
+        (StmtSites::List(_), _) => unreachable!("site-list statements never group"),
+    };
+    let refs: Vec<(FieldRef, &Expr)> = stmts.iter().map(|s| (s.target, &s.expr)).collect();
+    let opt = ctx.opt_level();
+    let plan = plan_fused(ctx, &refs, subset != Subset::All, opt)?;
+
+    let tel = ctx.telemetry();
+    let span = tel
+        .span("eval", "eval_fused")
+        .with_sim(ctx.device().stream_now(stream));
+
+    let exprs: Vec<&Expr> = stmts.iter().map(|s| &s.expr).collect();
+    let ptx = ctx.try_ptx_for_key(&plan.key, || {
+        let _cg = tel.span("eval", "codegen");
+        render_fused_ptx(&plan, &exprs, &plan.name)
+    })?;
+    let kernel = ctx
+        .kernels()
+        .compile(CompileRequest::new(&ptx).opt_level(plan.opt).name(&plan.name))?;
+
+    // Page in the working set: every target, then the union leaves.
+    let mut ids: Vec<u64> = stmts.iter().map(|s| s.target.id).collect();
+    ids.extend(plan.union_leaves.iter().map(|l| l.id));
+    let ptrs = ctx.cache().assure_on_device(&ids)?;
+
+    let (site_tbl, n_threads) = ctx.subset_table(subset);
+    if n_threads == 0 {
+        return Ok(());
+    }
+
+    // Marshal in declaration order: dst0..dstK-1, union leaves, each
+    // statement's scalars, n, site table, union neighbour tables.
+    let mut args: Vec<LaunchArg> = ptrs.iter().map(|p| LaunchArg::Ptr(*p)).collect();
+    for (s, flags) in stmts.iter().zip(plan.per_flags.iter()) {
+        for ((re, im), cplx) in s.expr.scalar_values().iter().zip(flags.iter()) {
+            match plan.ft {
+                FloatType::F32 => {
+                    args.push(LaunchArg::F32(*re as f32));
+                    if *cplx {
+                        args.push(LaunchArg::F32(*im as f32));
+                    }
+                }
+                FloatType::F64 => {
+                    args.push(LaunchArg::F64(*re));
+                    if *cplx {
+                        args.push(LaunchArg::F64(*im));
+                    }
+                }
+            }
+        }
+    }
+    args.push(LaunchArg::U32(n_threads as u32));
+    if let Some(t) = site_tbl {
+        args.push(LaunchArg::Ptr(t));
+    }
+    for &(mu, dir) in &plan.union_shifts {
+        args.push(LaunchArg::Ptr(ctx.neighbor_table(mu, dir, false)));
+    }
+
+    let site_stride = match ctx.layout() {
+        LayoutKind::SoA => 1,
+        LayoutKind::AoS => plan
+            .metas
+            .iter()
+            .map(|m| m.target_shape.n_reals())
+            .max()
+            .unwrap_or(1),
+    };
+    launch_tuned_on(
+        ctx.device(),
+        ctx.tuner(),
+        &kernel,
+        &args,
+        n_threads,
+        site_stride,
+        ctx.payload_execution(),
+        stream,
+    )?;
+    for s in stmts {
+        ctx.cache().mark_device_dirty(s.target.id)?;
+    }
+    span.end_with_sim(ctx.device().stream_now(stream));
+    Ok(())
+}
+
+/// Launch one statement exactly as the per-expression path would.
+fn launch_single(ctx: &QdpContext, s: &Stmt) -> Result<(), CoreError> {
+    match &s.sites {
+        StmtSites::Subset(sub) => {
+            eval::eval(
+                ctx,
+                s.target,
+                &s.expr,
+                &EvalParams::new().subset(*sub).stream(s.stream),
+            )?;
+        }
+        StmtSites::List(v) => {
+            eval::eval(
+                ctx,
+                s.target,
+                &s.expr,
+                &EvalParams::new().sites(v).stream(s.stream),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn flush_stmts(ctx: &QdpContext, stmts: &[Stmt]) -> Result<(), CoreError> {
+    let tel = ctx.telemetry();
+    for g in plan_groups(ctx, stmts) {
+        let group = &stmts[g];
+        if group.len() >= 2 {
+            tel.count("fuse.groups", 1);
+            tel.count("fuse.launches_saved", (group.len() - 1) as u64);
+            launch_group(ctx, group)?;
+        } else {
+            launch_single(ctx, &group[0])?;
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate a sequence of raw `target ← expr` statements (full lattice,
+/// default stream) through the fusion planner, exactly as a
+/// [`FusionScope`] flush would — groups that pass the legality rules
+/// launch as fused kernels, the rest fall back to per-expression
+/// evaluation. The untyped entry point for the conformance `--fuse-diff`
+/// harness, which needs to drive the planner from generated [`FieldRef`]
+/// sequences rather than typed [`Lattice`] handles.
+pub fn eval_fused_sequence(
+    ctx: &QdpContext,
+    stmts: &[(FieldRef, Expr)],
+) -> Result<(), CoreError> {
+    let stmts: Vec<Stmt> = stmts
+        .iter()
+        .map(|(target, expr)| Stmt {
+            target: *target,
+            expr: expr.clone(),
+            sites: StmtSites::Subset(Subset::All),
+            stream: StreamId::DEFAULT,
+        })
+        .collect();
+    flush_stmts(ctx, &stmts)
+}
+
+/// Account one combined tree-reduction pass over `temps` (the fused twin of
+/// the per-temporary pass), then host-sum each temporary in the same
+/// per-component site order as the unbatched reduction — values are
+/// bit-identical, only the accounting is merged.
+fn reduce_batch(
+    ctx: &QdpContext,
+    temps: &[(FieldRef, usize)],
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    let vol = ctx.geometry().vol();
+    let ids: Vec<u64> = temps.iter().map(|(t, _)| t.id).collect();
+    let ptrs = ctx.cache().assure_on_device(&ids)?;
+    let (t0, n0) = temps[0];
+    let layout0 = FieldLayout::new(ctx.layout(), vol, n0);
+    let shape = KernelShape {
+        threads: vol,
+        read_bytes_per_thread: temps
+            .iter()
+            .map(|(t, n)| n * t.ft.size_bytes())
+            .sum(),
+        write_bytes_per_thread: 0,
+        flops_per_thread: temps.iter().map(|(_, n)| n).sum(),
+        regs_per_thread: 16,
+        access_bytes: t0.ft.size_bytes(),
+        site_stride: layout0.site_stride(),
+        double_precision: temps.iter().any(|(t, _)| t.ft == FloatType::F64),
+    };
+    ctx.device()
+        .account_launch(&shape, 128)
+        .map_err(CoreError::Launch)?;
+
+    let mem = ctx.device().memory();
+    let mut out = Vec::with_capacity(temps.len());
+    for ((t, n_comp), ptr) in temps.iter().zip(ptrs.iter()) {
+        let esize = t.ft.size_bytes();
+        let layout = FieldLayout::new(ctx.layout(), vol, *n_comp);
+        let mut sums = vec![0.0f64; *n_comp];
+        for (comp, s) in sums.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for site in 0..vol {
+                let idx = layout.real_index(site, comp) * esize;
+                acc += match t.ft {
+                    FloatType::F32 => mem.read_f32(ptr + idx as u64) as f64,
+                    FloatType::F64 => mem.read_f64(ptr + idx as u64),
+                };
+            }
+            *s = acc;
+        }
+        out.push(sums);
+    }
+    Ok(out)
+}
+
+/// A deferred-evaluation scope (see [`crate::QdpContext::deferred`]):
+/// assignments and reductions issued through it are recorded, then fused
+/// and launched on flush — a reduction, an explicit
+/// [`FusionScope::flush`], or scope drop. With fusion disabled
+/// (`QDP_FUSE=0` or [`crate::QdpContext::set_fuse`]) every call passes
+/// straight through to the per-expression path, bit-exactly.
+pub struct FusionScope {
+    ctx: Arc<QdpContext>,
+    pending: Vec<Stmt>,
+    enabled: bool,
+}
+
+impl FusionScope {
+    /// Open a scope on `ctx` (fusion enablement is sampled here).
+    pub fn new(ctx: Arc<QdpContext>) -> FusionScope {
+        let enabled = ctx.fuse_enabled();
+        FusionScope {
+            ctx,
+            pending: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &Arc<QdpContext> {
+        &self.ctx
+    }
+
+    /// Whether this scope actually fuses (false ⇒ pure passthrough).
+    pub fn fusing(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(
+        &mut self,
+        target: FieldRef,
+        expr: Expr,
+        sites: StmtSites,
+        stream: StreamId,
+    ) -> Result<(), CoreError> {
+        let s = Stmt {
+            target,
+            expr,
+            sites,
+            stream,
+        };
+        if !self.enabled {
+            return launch_single(&self.ctx, &s);
+        }
+        self.pending.push(s);
+        Ok(())
+    }
+
+    /// Deferred `target = rhs` over the whole lattice.
+    pub fn assign<E: SiteElem>(
+        &mut self,
+        target: &Lattice<E>,
+        rhs: QExpr<E>,
+    ) -> Result<(), CoreError> {
+        self.record(
+            target.fref(),
+            rhs.0,
+            StmtSites::Subset(Subset::All),
+            StreamId::DEFAULT,
+        )
+    }
+
+    /// Deferred `target[subset] = rhs`.
+    pub fn assign_on<E: SiteElem>(
+        &mut self,
+        subset: Subset,
+        target: &Lattice<E>,
+        rhs: QExpr<E>,
+    ) -> Result<(), CoreError> {
+        self.record(
+            target.fref(),
+            rhs.0,
+            StmtSites::Subset(subset),
+            StreamId::DEFAULT,
+        )
+    }
+
+    /// Deferred stream-ordered assignment (statements on different streams
+    /// never fuse with each other).
+    pub fn assign_stream<E: SiteElem>(
+        &mut self,
+        target: &Lattice<E>,
+        rhs: QExpr<E>,
+        stream: StreamId,
+    ) -> Result<(), CoreError> {
+        self.record(target.fref(), rhs.0, StmtSites::Subset(Subset::All), stream)
+    }
+
+    /// Deferred assignment over an explicit site list (never fused — the
+    /// planner launches it per-expression in sequence order).
+    pub fn assign_sites<E: SiteElem>(
+        &mut self,
+        target: &Lattice<E>,
+        rhs: QExpr<E>,
+        sites: &[u32],
+    ) -> Result<(), CoreError> {
+        self.record(
+            target.fref(),
+            rhs.0,
+            StmtSites::List(sites.to_vec()),
+            StreamId::DEFAULT,
+        )
+    }
+
+    /// Record reduction temporaries for `exprs`, flush (fusing the temp
+    /// evaluations with any pending producers), run one combined reduction
+    /// pass, free the temporaries.
+    fn reduce_recorded(
+        &mut self,
+        exprs: &[(Expr, ElemKind)],
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let vol = self.ctx.geometry().vol();
+        let mut temps: Vec<(FieldRef, usize)> = Vec::with_capacity(exprs.len());
+        for (e, kind) in exprs {
+            let n_comp = match kind {
+                ElemKind::Real => 1,
+                ElemKind::Complex => 2,
+                k => {
+                    return Err(CoreError::Msg(format!(
+                        "cannot reduce {k:?} expression"
+                    )))
+                }
+            };
+            let ft = e.float_type();
+            let id = self.ctx.cache().register(vol * n_comp * ft.size_bytes());
+            temps.push((
+                FieldRef {
+                    id,
+                    kind: *kind,
+                    ft,
+                },
+                n_comp,
+            ));
+        }
+        let r = (|| {
+            for ((e, _), (t, _)) in exprs.iter().zip(temps.iter()) {
+                self.record(
+                    *t,
+                    e.clone(),
+                    StmtSites::Subset(Subset::All),
+                    StreamId::DEFAULT,
+                )?;
+            }
+            self.flush()?;
+            reduce_batch(&self.ctx, &temps)
+        })();
+        for (t, _) in &temps {
+            self.ctx.cache().unregister(t.id);
+        }
+        r
+    }
+
+    /// `‖expr‖²` as a deferred reduction: the local-norm temporary fuses
+    /// with pending producers, then one reduction pass runs.
+    pub fn norm2_of<E: SiteElem>(&mut self, q: &QExpr<E>) -> Result<f64, CoreError> {
+        if !self.enabled {
+            return eval::norm2(&self.ctx, q.raw(), Subset::All);
+        }
+        let n2 = Expr::Unary(UnaryOp::LocalNorm2, Box::new(q.raw().clone()));
+        Ok(self.reduce_recorded(&[(n2, ElemKind::Real)])?[0][0])
+    }
+
+    /// `‖field‖²` as a deferred reduction.
+    pub fn norm2<E: SiteElem>(&mut self, f: &Lattice<E>) -> Result<f64, CoreError> {
+        self.norm2_of(&f.q())
+    }
+
+    /// Batched `‖field‖²` over several fields: the local-norm temporaries
+    /// fuse into one multi-output kernel and share one reduction pass.
+    pub fn norm2_batch<E: SiteElem>(
+        &mut self,
+        fs: &[&Lattice<E>],
+    ) -> Result<Vec<f64>, CoreError> {
+        if !self.enabled {
+            return fs.iter().map(|f| f.norm2()).collect();
+        }
+        let exprs: Vec<(Expr, ElemKind)> = fs
+            .iter()
+            .map(|f| {
+                (
+                    Expr::Unary(UnaryOp::LocalNorm2, Box::new(f.q().0)),
+                    ElemKind::Real,
+                )
+            })
+            .collect();
+        Ok(self
+            .reduce_recorded(&exprs)?
+            .into_iter()
+            .map(|v| v[0])
+            .collect())
+    }
+
+    /// `⟨a, b⟩` as a deferred reduction.
+    pub fn inner_product<E: SiteElem>(
+        &mut self,
+        a: &QExpr<E>,
+        b: &QExpr<E>,
+    ) -> Result<Complex<f64>, CoreError> {
+        if !self.enabled {
+            let (re, im) = eval::inner_product(&self.ctx, a.raw(), b.raw(), Subset::All)?;
+            return Ok(Complex::new(re, im));
+        }
+        let ip = Expr::Binary(
+            BinaryOp::LocalInnerProduct,
+            Box::new(a.raw().clone()),
+            Box::new(b.raw().clone()),
+        );
+        let s = self.reduce_recorded(&[(ip, ElemKind::Complex)])?;
+        Ok(Complex::new(s[0][0], s[0][1]))
+    }
+
+    /// `Σ_x expr(x)` for a real expression, as a deferred reduction.
+    pub fn sum_real<R: Real>(
+        &mut self,
+        q: &QExpr<SiteReal<R>>,
+    ) -> Result<f64, CoreError>
+    where
+        SiteReal<R>: SiteElem,
+    {
+        if !self.enabled {
+            return eval::sum_real(&self.ctx, q.raw(), Subset::All);
+        }
+        Ok(self.reduce_recorded(&[(q.raw().clone(), ElemKind::Real)])?[0][0])
+    }
+
+    /// Plan, fuse and launch everything recorded so far (a barrier in the
+    /// deferred sequence). No-op when nothing is pending.
+    pub fn flush(&mut self) -> Result<(), CoreError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let stmts = std::mem::take(&mut self.pending);
+        flush_stmts(&self.ctx, &stmts)
+    }
+}
+
+impl Drop for FusionScope {
+    fn drop(&mut self) {
+        // Dropping the scope is the implicit barrier; errors here have
+        // nowhere to surface, so callers who care flush explicitly.
+        let _ = self.flush();
+    }
+}

@@ -4,11 +4,13 @@
 pub mod backend;
 pub mod cpu_backend;
 pub mod cse;
+pub mod fuse;
 pub mod ptx_backend;
 pub mod value;
 
 pub use backend::Backend;
 pub use cpu_backend::CpuGen;
 pub use cse::CseBackend;
-pub use ptx_backend::{KernelEnv, PtxGen};
+pub use fuse::{codegen_fused_ptx, eval_fused_sequence, FusionScope};
+pub use ptx_backend::{FusedStmtMeta, KernelEnv, PtxGen};
 pub use value::{gen_expr, load_leaf, store_val, GenCtx, SVal, CV};

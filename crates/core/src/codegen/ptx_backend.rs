@@ -61,6 +61,28 @@ struct PathSite {
     remote: Option<(Reg, usize, ShiftDir)>,
 }
 
+/// Per-statement metadata of a fused multi-statement kernel (see
+/// [`PtxGen::new_fused`]): the target's storage precision and shape, and
+/// how many scalar parameters the statement's expression consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedStmtMeta {
+    /// Target field precision (stores convert when it differs).
+    pub target_ft: FloatType,
+    /// Target element shape.
+    pub target_shape: TypeShape,
+    /// Scalar parameters consumed by this statement's expression.
+    pub n_scalars: usize,
+}
+
+/// Resolved per-statement destination state of a fused kernel.
+struct FusedDst {
+    base: Reg,
+    ft: FloatType,
+    shape: TypeShape,
+    /// This statement's offset into the kernel's flat scalar-register list.
+    scalar_base: usize,
+}
+
 /// The PTX-emitting backend.
 pub struct PtxGen<'a> {
     /// The kernel being built.
@@ -79,6 +101,11 @@ pub struct PtxGen<'a> {
     recv_bases: HashMap<(usize, ShiftDir, usize), Reg>,
     exit_label: String,
     const_cache: HashMap<u64, Reg>,
+    /// Fused mode: one destination per statement (empty ⇒ the classic
+    /// single-statement kernel driven through `dst_base`).
+    fused: Vec<FusedDst>,
+    /// Index of the statement currently being generated (fused mode).
+    cur_stmt: usize,
     /// First structural fault seen during the walk (malformed DAG).
     fault: Option<&'static str>,
 }
@@ -198,8 +225,153 @@ impl<'a> PtxGen<'a> {
             recv_bases,
             exit_label,
             const_cache: HashMap::new(),
+            fused: Vec::new(),
+            cur_stmt: 0,
             fault: None,
         }
+    }
+
+    /// Start a fused multi-statement kernel: `stmts.len()` destination
+    /// parameters (`dst0..dstK-1`), one shared leaf table, the statements'
+    /// scalar parameters concatenated in statement order
+    /// (`env.scalar_complex` is that concatenation; `stmts[i].n_scalars`
+    /// partitions it). The prologue (thread id, guard, site indirection) is
+    /// identical to [`PtxGen::new`]; [`PtxGen::begin_stmt`] switches the
+    /// destination and scalar window between statements. Fused kernels
+    /// never carry remote shifts (the planner refuses to group them).
+    pub fn new_fused(
+        name: &str,
+        env: &'a KernelEnv,
+        leaves: &'a [FieldRef],
+        stmts: &[FusedStmtMeta],
+    ) -> PtxGen<'a> {
+        assert!(
+            !env.remote_shifts,
+            "fused kernels must not carry remote shifts"
+        );
+        let mut kb = KernelBuilder::new(name);
+        let ty = ptx_of(env.ft);
+
+        // --- parameter declaration (order = marshalling contract) ---
+        let p_dsts: Vec<String> = (0..stmts.len())
+            .map(|i| kb.param(format!("dst{i}"), PtxType::U64))
+            .collect();
+        let p_leaves: Vec<String> = (0..leaves.len())
+            .map(|i| kb.param(format!("l{i}"), PtxType::U64))
+            .collect();
+        let mut p_scalars = Vec::new();
+        for (j, &cplx) in env.scalar_complex.iter().enumerate() {
+            let re = kb.param(format!("s{j}_re"), ty);
+            let im = cplx.then(|| kb.param(format!("s{j}_im"), ty));
+            p_scalars.push((re, im));
+        }
+        let p_n = kb.param("n", PtxType::U32);
+        let p_sites = env.subset_mapped.then(|| kb.param("sites", PtxType::U64));
+        let mut p_tables = Vec::new();
+        for &(mu, dir) in &env.shifts {
+            p_tables.push((
+                (mu, dir),
+                kb.param(format!("tbl_{mu}_{}", dir_tag(dir)), PtxType::U64),
+            ));
+        }
+
+        // --- prologue: thread id, guard, site index ---
+        let tid = kb.global_tid();
+        let n = kb.ld_param(&p_n, PtxType::U32);
+        let exit_label = kb.guard(tid, n);
+
+        let base_site = if let Some(ps) = &p_sites {
+            let sites_base = kb.ld_param(ps, PtxType::U64);
+            let boff = kb.fresh(RegClass::B64);
+            kb.push(Inst::MulWide {
+                src_ty: PtxType::U32,
+                dst: boff,
+                a: tid,
+                b: Operand::ImmI(4),
+            });
+            let addr = kb.bin(BinOp::Add, PtxType::U64, sites_base.into(), boff.into());
+            let site = kb.fresh(RegClass::B32);
+            kb.push(Inst::LdGlobal {
+                ty: PtxType::U32,
+                dst: site,
+                addr,
+                offset: 0,
+            });
+            site
+        } else {
+            tid
+        };
+
+        // --- base pointers ---
+        let mut scalar_base = 0usize;
+        let fused: Vec<FusedDst> = p_dsts
+            .iter()
+            .zip(stmts.iter())
+            .map(|(p, m)| {
+                let d = FusedDst {
+                    base: kb.ld_param(p, PtxType::U64),
+                    ft: m.target_ft,
+                    shape: m.target_shape,
+                    scalar_base,
+                };
+                scalar_base += m.n_scalars;
+                d
+            })
+            .collect();
+        let dst_base = fused[0].base;
+        let leaf_bases: Vec<Reg> = p_leaves
+            .iter()
+            .map(|p| kb.ld_param(p, PtxType::U64))
+            .collect();
+        let scalar_regs: Vec<(Reg, Option<Reg>)> = p_scalars
+            .iter()
+            .map(|(re, im)| {
+                let r = kb.ld_param(re, ty);
+                let i = im.as_ref().map(|p| kb.ld_param(p, ty));
+                (r, i)
+            })
+            .collect();
+        let table_bases: HashMap<(usize, ShiftDir), Reg> = p_tables
+            .iter()
+            .map(|(k, p)| (*k, kb.ld_param(p, PtxType::U64)))
+            .collect();
+
+        let mut site_cache = HashMap::new();
+        site_cache.insert(
+            Vec::new(),
+            PathSite {
+                off: base_site,
+                remote: None,
+            },
+        );
+
+        PtxGen {
+            kb,
+            env,
+            leaves,
+            ty,
+            path: Vec::new(),
+            site_cache,
+            leaf_bases,
+            dst_base,
+            base_site,
+            scalar_regs,
+            table_bases,
+            recv_bases: HashMap::new(),
+            exit_label,
+            const_cache: HashMap::new(),
+            fused,
+            cur_stmt: 0,
+            fault: None,
+        }
+    }
+
+    /// Fused mode: select statement `i` — its destination pointer and its
+    /// scalar-parameter window — for the stores and `scalar()` reads of the
+    /// walk that follows.
+    pub fn begin_stmt(&mut self, i: usize) {
+        assert!(i < self.fused.len(), "begin_stmt outside fused statements");
+        self.cur_stmt = i;
     }
 
     /// Seal the kernel: bind the exit label and return the finished kernel.
@@ -421,6 +593,14 @@ impl<'a> Backend for PtxGen<'a> {
     }
 
     fn scalar(&mut self, idx: usize, imag: bool) -> Reg {
+        // Fused mode: each statement's walk numbers its scalars from zero;
+        // the kernel parameter list concatenates them, so shift into the
+        // current statement's window.
+        let idx = if self.fused.is_empty() {
+            idx
+        } else {
+            self.fused[self.cur_stmt].scalar_base + idx
+        };
         let (re, im) = self.scalar_regs[idx];
         if imag {
             im.expect("imaginary part of a real scalar")
@@ -448,10 +628,15 @@ impl<'a> Backend for PtxGen<'a> {
     }
 
     fn store(&mut self, comp: usize, v: &Reg) {
-        let tty = ptx_of(self.env.target_ft);
-        let esize = self.env.target_ft.size_bytes();
-        let n_comp = self.env.target_shape.n_reals();
-        let base = self.dst_base;
+        let (tft, tshape, base) = if self.fused.is_empty() {
+            (self.env.target_ft, self.env.target_shape, self.dst_base)
+        } else {
+            let d = &self.fused[self.cur_stmt];
+            (d.ft, d.shape, d.base)
+        };
+        let tty = ptx_of(tft);
+        let esize = tft.size_bytes();
+        let n_comp = tshape.n_reals();
         let site = self.base_site;
         let addr = self.address(base, site, comp, self.env.n_sites, esize, n_comp);
         let val = if tty == self.ty {

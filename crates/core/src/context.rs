@@ -27,6 +27,7 @@ pub struct QdpContext {
     ptx_texts: Mutex<HashMap<String, Arc<str>>>,
     execute_payload: AtomicBool,
     opt_override: Mutex<Option<OptLevel>>,
+    fuse_override: Mutex<Option<bool>>,
     store: Option<Arc<KernelStore>>,
 }
 
@@ -81,6 +82,7 @@ impl QdpContext {
             ptx_texts: Mutex::new(HashMap::new()),
             execute_payload: AtomicBool::new(true),
             opt_override: Mutex::new(None),
+            fuse_override: Mutex::new(None),
             store,
         })
     }
@@ -171,6 +173,32 @@ impl QdpContext {
     /// same expression optimized and unoptimized inside one process.
     pub fn set_opt_level(&self, level: Option<OptLevel>) {
         *self.opt_override.lock() = level;
+    }
+
+    /// Whether [`QdpContext::deferred`] scopes actually fuse: a per-context
+    /// override if one was set, otherwise `QDP_FUSE` read fresh from the
+    /// environment (default on; `QDP_FUSE=0` restores per-expression
+    /// launches bit-exactly — every deferred call becomes an immediate
+    /// [`crate::eval`]).
+    pub fn fuse_enabled(&self) -> bool {
+        self.fuse_override
+            .lock()
+            .unwrap_or_else(|| std::env::var("QDP_FUSE").map_or(true, |v| v != "0"))
+    }
+
+    /// Pin (`Some`) or unpin (`None`) fusion for this context, overriding
+    /// `QDP_FUSE`. Used by differential tests that run the same statement
+    /// sequence fused and unfused inside one process.
+    pub fn set_fuse(&self, on: Option<bool>) {
+        *self.fuse_override.lock() = on;
+    }
+
+    /// Open a deferred-evaluation scope: assignments and reductions issued
+    /// through the returned [`crate::FusionScope`] are recorded and fused
+    /// into multi-statement kernels on flush (reduction, explicit
+    /// [`crate::FusionScope::flush`], or scope drop).
+    pub fn deferred(self: &Arc<Self>) -> crate::FusionScope {
+        crate::FusionScope::new(Arc::clone(self))
     }
 
     /// Cache a generated PTX text under its structural key.

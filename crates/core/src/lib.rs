@@ -25,6 +25,7 @@ pub mod eval;
 pub mod field;
 pub mod multinode;
 
+pub use codegen::fuse::{codegen_fused_ptx, eval_fused_sequence, FusionScope};
 pub use context::QdpContext;
 pub use qdp_gpu_sim::{Event, StreamId};
 pub use qdp_ptx::opt::OptLevel;
@@ -47,6 +48,7 @@ pub use field::{
 
 /// The commonly needed names.
 pub mod prelude {
+    pub use crate::codegen::fuse::FusionScope;
     pub use crate::context::QdpContext;
     pub use crate::eval::{CoreError, EvalParams, EvalReport, SiteSpec};
     pub use crate::field::*;

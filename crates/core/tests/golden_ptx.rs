@@ -12,7 +12,7 @@
 //!
 //! then commit the updated `.ptx` files with the change that caused them.
 
-use qdp_core::{codegen_ptx, OptLevel, QdpContext};
+use qdp_core::{codegen_fused_ptx, codegen_ptx, OptLevel, QdpContext};
 use qdp_expr::{BinaryOp, Expr, FieldRef, ShiftDir, UnaryOp};
 use qdp_gpu_sim::DeviceConfig;
 use qdp_layout::{Geometry, LayoutKind, Subset};
@@ -24,6 +24,10 @@ struct Env {
     ctx: Arc<QdpContext>,
     u: [FieldRef; 4],
     psi: [FieldRef; 2],
+    /// Fermion target for fused producer→consumer snapshots.
+    chi: FieldRef,
+    /// Real target (reduction temporary stand-in) for fused snapshots.
+    rho: FieldRef,
 }
 
 /// Deterministic registration order — snapshot parameter layout depends
@@ -53,7 +57,15 @@ fn env(ft: FloatType) -> Env {
         reg(ElemKind::ColorMatrix),
     ];
     let psi = [reg(ElemKind::Fermion), reg(ElemKind::Fermion)];
-    Env { ctx, u, psi }
+    let chi = reg(ElemKind::Fermion);
+    let rho = reg(ElemKind::Real);
+    Env {
+        ctx,
+        u,
+        psi,
+        chi,
+        rho,
+    }
 }
 
 fn mul(a: Expr, b: Expr) -> Expr {
@@ -180,6 +192,44 @@ fn golden_axpy_fermion() {
     let target = e.psi[0];
     let ptx = codegen_ptx(&e.ctx, target, &expr, Subset::All, "axpy_fermion_dp").unwrap();
     check_snapshot("axpy_fermion_dp", &ptx);
+}
+
+/// Fused producer→consumer group: an axpy writing `chi` and the
+/// local-norm temporary reading `chi` back **unshifted** in the same
+/// kernel — the canonical CG inner-loop fusion. Two `dst` parameters, one
+/// shared leaf set, stores interleaved per thread.
+#[test]
+fn golden_fused_axpy_norm2() {
+    let e = env(FloatType::F64);
+    let axpy = add(
+        Expr::Field(e.psi[0]),
+        mul(Expr::real(0.75), Expr::Field(e.psi[1])),
+    );
+    let n2 = Expr::Unary(UnaryOp::LocalNorm2, Box::new(Expr::Field(e.chi)));
+    let stmts = [(e.chi, axpy), (e.rho, n2)];
+    let ptx =
+        codegen_fused_ptx(&e.ctx, &stmts, Subset::All, "fused_axpy_norm2_dp").unwrap();
+    check_snapshot("fused_axpy_norm2_dp", &ptx);
+}
+
+/// Fused independent-statement group: the HMC two-term force
+/// accumulation, `F_µ ← F_µ + ε·G_µ` for two directions in one kernel
+/// (distinct targets, no cross-statement reads, shared scalar).
+#[test]
+fn golden_fused_force_accum() {
+    let e = env(FloatType::F64);
+    let s0 = add(
+        Expr::Field(e.u[0]),
+        mul(Expr::real(0.5), Expr::Field(e.u[2])),
+    );
+    let s1 = add(
+        Expr::Field(e.u[1]),
+        mul(Expr::real(0.5), Expr::Field(e.u[3])),
+    );
+    let stmts = [(e.u[0], s0), (e.u[1], s1)];
+    let ptx =
+        codegen_fused_ptx(&e.ctx, &stmts, Subset::All, "fused_force_accum_dp").unwrap();
+    check_snapshot("fused_force_accum_dp", &ptx);
 }
 
 /// Subset-mapped kernel: checkerboard evaluation routes sites through the

@@ -359,6 +359,44 @@ impl Expr {
         out
     }
 
+    /// The field leaves read under *any* shift, whatever its direction —
+    /// deduplicated, in visiting order. The fusion planner's hazard set: a
+    /// shifted read observes neighbouring sites, so it must never read a
+    /// field written earlier in the same fused kernel (another thread may
+    /// not have produced that site yet).
+    pub fn leaves_under_any_shift(&self) -> Vec<FieldRef> {
+        let mut out: Vec<FieldRef> = Vec::new();
+        fn walk(e: &Expr, depth: usize, out: &mut Vec<FieldRef>) {
+            match e {
+                Expr::Field(r) => {
+                    if depth > 0 && !out.iter().any(|x| x.id == r.id) {
+                        out.push(*r);
+                    }
+                }
+                Expr::Scalar { .. } => {}
+                Expr::Unary(_, c) => walk(c, depth, out),
+                Expr::Binary(_, a, b) => {
+                    walk(a, depth, out);
+                    walk(b, depth, out);
+                }
+                Expr::Shift { child, .. } => walk(child, depth + 1, out),
+                Expr::GammaMul { child, .. } => walk(child, depth, out),
+                Expr::CloverApply { diag, tri, child } => {
+                    if depth > 0 {
+                        for r in [diag, tri] {
+                            if !out.iter().any(|x| x.id == r.id) {
+                                out.push(*r);
+                            }
+                        }
+                    }
+                    walk(child, depth, out);
+                }
+            }
+        }
+        walk(self, 0, &mut out);
+        out
+    }
+
     /// All shift `(mu, dir)` pairs in the expression, deduplicated — what
     /// the communication layer exchanges (§V).
     pub fn shifts(&self) -> Vec<(usize, ShiftDir)> {
@@ -549,6 +587,20 @@ mod tests {
             vec![(0, ShiftDir::Forward), (0, ShiftDir::Backward)]
         );
         assert!(!e.has_nested_shift());
+    }
+
+    #[test]
+    fn leaves_under_any_shift_is_the_hazard_set() {
+        // u*shift(psi,+0) + shift(adj(u)*psi,-0): psi is read shifted in
+        // both terms, u only inside the backward-shifted product.
+        let e = derivative_expr();
+        let hazard = e.leaves_under_any_shift();
+        assert_eq!(hazard.len(), 2);
+        assert!(hazard.iter().any(|r| r.id == 2)); // psi
+        assert!(hazard.iter().any(|r| r.id == 1)); // u (inside the shifted product)
+        // An unshifted product has no hazard leaves.
+        let flat = Expr::Binary(BinaryOp::Mul, Box::new(u(1)), Box::new(psi(2)));
+        assert!(flat.leaves_under_any_shift().is_empty());
     }
 
     #[test]
