@@ -48,6 +48,19 @@ if [ -n "$stale" ]; then
 fi
 echo "ok: no in-tree callers of the deprecated compile/eval API"
 
+# ---- Guard: no panic-on-hangup comm paths ----------------------------------
+# Peer loss is a recoverable condition: every comm path must surface a
+# structured CommError (PeerLost/Timeout/RankKilled), never unwrap a
+# disconnected channel. The old panicking idioms must not come back.
+panics=$(grep -rn 'expect("peer rank hung up")\|expect("rank thread panicked")' \
+    --include='*.rs' crates || true)
+if [ -n "$panics" ]; then
+    echo "FAIL: comm layer panics on peer loss instead of returning CommError:" >&2
+    echo "$panics" >&2
+    exit 1
+fi
+echo "ok: no panic-on-hangup comm paths"
+
 # ---- Tier-1 gate, offline --------------------------------------------------
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
@@ -58,6 +71,16 @@ cargo test -q --offline --workspace
 # the legacy hand model.
 cargo test -q --offline -p qdp-core --test streams --test multirank
 echo "ok: stream-engine semantics + schedule tests"
+
+# ---- Fault tolerance: rank-failure injection + checkpoint/restart ----------
+# The failure-injection matrix (rank killed before the fork, during the
+# halo exchange, inside an allreduce) must surface structured errors on
+# every rank, site-list device allocations must be freed on MultiRank
+# drop, and the HMC campaign driver must restore a killed cluster from
+# checkpoints bit-identically.
+cargo test -q --release --offline -p qdp-core --test faults
+cargo test -q --release --offline -p chroma-mini --test checkpoint
+echo "ok: failure-injection matrix + checkpoint/restart tests"
 
 # ---- Telemetry smoke: profile + roofline + Chrome trace on a real workload -
 # Run the Wilson-dslash example with the profiler, roofline analyzer and
@@ -165,6 +188,24 @@ if ! awk -v c="$cold_wall" -v w="$warm_wall" 'BEGIN { exit !(w < c) }'; then
 fi
 echo "ok: persistent kernel cache warm start (cold ${cold_wall} us -> warm ${warm_wall} us, zero warm compiles/opt passes/tuner trials)"
 
+# ---- Campaign smoke: kill a rank mid-trajectory, restore, bit-identical ----
+# The probe runs the same distributed HMC campaign clean and with an
+# injected rank kill; the faulted run must actually restore from
+# checkpoints (restores >= 1) and finish with the exact plaquette bits
+# and Metropolis decisions of the clean run.
+campaign_out=$(cargo run --release --offline -p qdp-bench --bin campaign_probe)
+for check in "plaq_bits_match 1" "accept_match 1"; do
+    k=${check% *}; want=${check#* }
+    got=$(probe_val "$k" "$campaign_out")
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: campaign_probe $k = $got (want $want)" >&2
+        echo "$campaign_out" >&2
+        exit 1
+    fi
+done
+[ "$(probe_val restores "$campaign_out")" -ge 1 ]
+echo "ok: campaign kill -> checkpoint restore -> bit-identical history ($(probe_val restores "$campaign_out") restore)"
+
 # ---- Bench regression gate against the committed baseline -------------------
 # Re-run the framework suite (short budget — the noisy-row floor absorbs
 # the extra variance) and judge every row of the committed
@@ -200,6 +241,9 @@ grep -q '"overlap_traj_time_ms_legacy"' BENCH_framework.json
 grep -q '"overlap_traj_time_ms_stream"' BENCH_framework.json
 grep -q '"cg_10_iterations_fused_vs_unfused"' BENCH_framework.json
 grep -q '"fuse_launches_saved_pct"' BENCH_framework.json
-echo "ok: framework bench recorded optimizer before/after, cold/warm persist, overlap legacy-vs-stream + fusion before/after rows"
+grep -q '"nrank_eval_time_ms_n4"' BENCH_framework.json
+grep -q '"nrank_eval_time_ms_n256"' BENCH_framework.json
+grep -q '"nrank_scaling_efficiency_gain_pct"' BENCH_framework.json
+echo "ok: framework bench recorded optimizer before/after, cold/warm persist, overlap legacy-vs-stream, fusion before/after + N-rank strong-scaling rows"
 
 echo "ci.sh: all green (offline build + workspace tests + stream engine + observability smoke + conformance + optimizer + fusion + persist + perf gate + bench)"

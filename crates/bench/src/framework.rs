@@ -353,6 +353,77 @@ fn bench_overlap(c: &mut Harness) {
     c.record_value("overlap_stream_gain_pct", 100.0 * (legacy / streamed - 1.0));
 }
 
+/// Fig. 7/8-style strong scaling through the discrete-event cluster
+/// model: the all-direction covariant derivative on a fixed 16^4 global
+/// lattice, decomposed over 4D rank grids from 4 to 256 simulated ranks
+/// (payload off — the rows are modelled times, bit-deterministic).
+/// `nrank_eval_time_ms_n*` improve downward under the perf gate; the
+/// efficiency row improves upward.
+fn bench_strong_scaling(c: &mut Harness) {
+    fn eval_ms(global: [usize; 4], rank_dims: [usize; 4]) -> f64 {
+        let n: usize = rank_dims.iter().product();
+        let results = qdp_comm::run_cluster(
+            n,
+            qdp_comm::LinkModel::infiniband_qdr(),
+            move |handle| {
+                let decomp = qdp_layout::Decomposition::new(global, rank_dims);
+                let rank = handle.rank;
+                let ctx = QdpContext::new(
+                    DeviceConfig::k20m_ecc_on(),
+                    decomp.local_geometry(),
+                    LayoutKind::SoA,
+                );
+                ctx.set_payload_execution(false);
+                let mr = qdp_core::multinode::MultiRank::new(
+                    Arc::clone(&ctx),
+                    decomp,
+                    handle,
+                    true,
+                    true,
+                );
+                let mut rng = StdRng::seed_from_u64(29 + rank as u64);
+                let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |_| {
+                    PScalar(random_su3(&mut rng))
+                });
+                let psi = LatticeFermion::<f64>::from_fn(&ctx, |_| {
+                    PVector::from_fn(|_| {
+                        PVector::from_fn(|_| qdp_types::su3::gaussian_complex(&mut rng))
+                    })
+                });
+                let out = LatticeFermion::<f64>::new(&ctx);
+                let mut e = u.q() * shift(psi.q(), 0, ShiftDir::Forward)
+                    + shift(adj(u.q()) * psi.q(), 0, ShiftDir::Backward);
+                for mu in 1..4 {
+                    e = e
+                        + u.q() * shift(psi.q(), mu, ShiftDir::Forward)
+                        + shift(adj(u.q()) * psi.q(), mu, ShiftDir::Backward);
+                }
+                // warm up: compile, pin site lists
+                mr.eval(out.fref(), &e.0).unwrap();
+                let t0 = ctx.device().now();
+                mr.eval(out.fref(), &e.0).unwrap();
+                ctx.device().now() - t0
+            },
+        );
+        results.into_iter().fold(0.0f64, f64::max) * 1e3
+    }
+
+    let global = [16usize, 16, 16, 16];
+    let t4 = eval_ms(global, [2, 1, 1, 2]);
+    let t16 = eval_ms(global, [2, 2, 2, 2]);
+    let t64 = eval_ms(global, [4, 2, 2, 4]);
+    let t256 = eval_ms(global, [4, 4, 4, 4]);
+    c.record_value("nrank_eval_time_ms_n4", t4);
+    c.record_value("nrank_eval_time_ms_n16", t16);
+    c.record_value("nrank_eval_time_ms_n64", t64);
+    c.record_value("nrank_eval_time_ms_n256", t256);
+    // parallel efficiency at 256 ranks relative to the 4-rank partition
+    c.record_value(
+        "nrank_scaling_efficiency_gain_pct",
+        100.0 * (t4 / t256) / (256.0 / 4.0),
+    );
+}
+
 /// Reduction (norm2) end to end.
 fn bench_reduction(c: &mut Harness) {
     let ctx = setup_ctx(8);
@@ -374,4 +445,5 @@ pub fn run_all(h: &mut Harness) {
     bench_optimizer(h);
     bench_persist(h);
     bench_overlap(h);
+    bench_strong_scaling(h);
 }

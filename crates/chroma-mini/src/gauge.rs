@@ -60,6 +60,19 @@ impl GaugeField {
         }
     }
 
+    /// Wrap already-built links (checkpoint restore, distributed drivers
+    /// that construct links from global coordinates).
+    pub fn from_links(
+        ctx: &Arc<QdpContext>,
+        u: Multi1d<LatticeColorMatrix<f64>>,
+    ) -> GaugeField {
+        assert_eq!(u.0.len(), 4, "need one link field per dimension");
+        GaugeField {
+            u,
+            ctx: Arc::clone(ctx),
+        }
+    }
+
     /// The owning context.
     pub fn context(&self) -> &Arc<QdpContext> {
         &self.ctx

@@ -17,6 +17,8 @@
 //!   trajectories, Hasenbusch mass preconditioning, RHMC ([`hmc`]);
 //! * trajectory cost accounting for the strong-scaling replays ([`trace`]).
 
+pub mod campaign;
+pub mod checkpoint;
 pub mod fermion;
 pub mod force;
 pub mod gauge;

@@ -1,0 +1,182 @@
+//! Checkpoint/restart conformance: bit-exact round-trips, corruption
+//! fallback, and the headline fault-tolerance guarantee — an HMC campaign
+//! that loses a rank mid-trajectory restores from checkpoints and ends
+//! bit-identical to a campaign that never failed.
+
+use chroma_mini::campaign::{run_campaign, CampaignConfig};
+use chroma_mini::checkpoint::{self, CheckpointView};
+use chroma_mini::gauge::{refresh_momenta, GaugeField};
+use qdp_comm::FaultPlan;
+use qdp_core::prelude::*;
+use qdp_rng::{SeedableRng, StdRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("qdp_ckpt_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn ctx() -> Arc<QdpContext> {
+    QdpContext::k20x(Geometry::symmetric(4))
+}
+
+fn link_bits(u: &Multi1d<LatticeColorMatrix<f64>>) -> Vec<u64> {
+    let vol = u[0].context().geometry().vol();
+    let mut bits = Vec::new();
+    for mu in 0..4 {
+        for s in 0..vol {
+            let m = u[mu].get(s).0;
+            for i in 0..3 {
+                for j in 0..3 {
+                    bits.push(m.0[i][j].re.to_bits());
+                    bits.push(m.0[i][j].im.to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+#[test]
+fn checkpoint_roundtrip_is_bit_exact() {
+    let dir = scratch_dir("roundtrip");
+    let c = ctx();
+    c.telemetry().enable();
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = GaugeField::warm(&c, &mut rng, 0.3);
+    let p = refresh_momenta(&c, &mut rng);
+    let metro = StdRng::seed_from_u64(7);
+    let plaqs = [0.625_431_f64, 0.627_002];
+    let accepts = [true, false];
+
+    checkpoint::save(
+        &dir,
+        0,
+        1,
+        &CheckpointView {
+            next_traj: 2,
+            rng: &rng,
+            metro_rng: &metro,
+            gauge: &g.u,
+            momenta: &p,
+            history_plaq: &plaqs,
+            history_accept: &accepts,
+        },
+        c.telemetry(),
+    )
+    .unwrap();
+    assert_eq!(c.telemetry().profile_report().counter("checkpoint.writes"), 1);
+
+    let ck = checkpoint::load(&dir, 0, 1, &c).expect("checkpoint should load");
+    assert_eq!(ck.next_traj, 2);
+    assert_eq!(ck.rng_state, rng.state());
+    assert_eq!(ck.metro_state, metro.state());
+    assert_eq!(link_bits(&ck.gauge), link_bits(&g.u), "gauge bits differ");
+    assert_eq!(link_bits(&ck.momenta), link_bits(&p), "momentum bits differ");
+    let got: Vec<u64> = ck.history_plaq.iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u64> = plaqs.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want);
+    assert_eq!(ck.history_accept, accepts.to_vec());
+    assert_eq!(c.telemetry().profile_report().counter("checkpoint.restores"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_or_mismatched_checkpoints_fall_back_to_cold_start() {
+    let dir = scratch_dir("corrupt");
+    let c = ctx();
+    c.telemetry().enable();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Missing file: cold start, not corruption.
+    assert!(checkpoint::load(&dir, 0, 1, &c).is_none());
+    assert_eq!(c.telemetry().profile_report().counter("checkpoint.corrupt"), 0);
+
+    // Garbage file: corruption counted, still a cold start.
+    std::fs::write(checkpoint::checkpoint_path(&dir, 0), "{not json").unwrap();
+    assert!(checkpoint::load(&dir, 0, 1, &c).is_none());
+    assert_eq!(c.telemetry().profile_report().counter("checkpoint.corrupt"), 1);
+
+    // A valid checkpoint for a different cluster size must be rejected.
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = GaugeField::warm(&c, &mut rng, 0.1);
+    let p = refresh_momenta(&c, &mut rng);
+    checkpoint::save(
+        &dir,
+        0,
+        4,
+        &CheckpointView {
+            next_traj: 1,
+            rng: &rng,
+            metro_rng: &rng,
+            gauge: &g.u,
+            momenta: &p,
+            history_plaq: &[0.5],
+            history_accept: &[true],
+        },
+        c.telemetry(),
+    )
+    .unwrap();
+    assert!(checkpoint::load(&dir, 0, 1, &c).is_none(), "n_ranks skew");
+    assert!(checkpoint::load(&dir, 0, 4, &c).is_some(), "matching load");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn small_campaign(dir: PathBuf, rank_dims: [usize; 4]) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new([4, 4, 4, 4], rank_dims, dir);
+    cfg.n_traj = 2;
+    cfg.n_steps = 2;
+    cfg.dt = 0.1;
+    cfg.deadline_ms = Some(1000);
+    cfg
+}
+
+#[test]
+fn campaign_runs_clean_without_faults() {
+    let dir = scratch_dir("clean");
+    let cfg = small_campaign(dir.clone(), [2, 1, 1, 2]);
+    let rep = run_campaign(&cfg, &FaultPlan::new()).unwrap();
+    assert_eq!(rep.restores, 0);
+    assert_eq!(rep.plaquettes.len(), 2);
+    assert_eq!(rep.accepts.len(), 2);
+    for p in &rep.plaquettes {
+        assert!(*p > 0.0 && *p <= 1.0, "plaquette {p} out of range");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_rank_restores_bit_identically() {
+    // Reference: uninterrupted campaign.
+    let dir_a = scratch_dir("ref");
+    let cfg_a = small_campaign(dir_a.clone(), [2, 1, 1, 2]);
+    let clean = run_campaign(&cfg_a, &FaultPlan::new()).unwrap();
+    assert_eq!(clean.restores, 0);
+
+    // Same campaign, but rank 2 is killed at its 40th message — inside a
+    // trajectory's halo/allreduce traffic. The driver must restore from
+    // checkpoints and finish with the exact same history.
+    let dir_b = scratch_dir("killed");
+    let cfg_b = small_campaign(dir_b.clone(), [2, 1, 1, 2]);
+    let plan = FaultPlan::new().kill_after_messages(2, 40);
+    let faulted = run_campaign(&cfg_b, &plan).unwrap();
+    assert!(faulted.restores >= 1, "the kill never fired");
+
+    let a: Vec<u64> = clean.plaquettes.iter().map(|v| v.to_bits()).collect();
+    let b: Vec<u64> = faulted.plaquettes.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a, b, "restored campaign diverged from the clean one");
+    assert_eq!(clean.accepts, faulted.accepts);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn single_rank_campaign_needs_no_comm() {
+    let dir = scratch_dir("single");
+    let cfg = small_campaign(dir.clone(), [1, 1, 1, 1]);
+    let rep = run_campaign(&cfg, &FaultPlan::new()).unwrap();
+    assert_eq!(rep.plaquettes.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -14,7 +14,9 @@
 //!   configurations (CPU-only, CPU+QUDA, QDP-JIT+QUDA).
 
 pub mod cluster;
+pub mod fault;
 pub mod model;
 
-pub use cluster::{run_cluster, LinkModel, RankHandle};
+pub use cluster::{run_cluster, try_run_cluster, LinkModel, RankHandle};
+pub use fault::{CommError, FaultPlan, FaultState, FaultTrigger};
 pub use model::{MachineModel, NodeModel};

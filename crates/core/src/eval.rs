@@ -40,6 +40,16 @@ pub enum CoreError {
     /// Structural fault found while generating code for a malformed DAG
     /// (e.g. an unbalanced shift pop).
     Codegen(String),
+    /// A communication primitive failed (peer lost, deadline timeout,
+    /// injected rank kill) — recoverable by checkpoint/restart.
+    Comm(qdp_comm::CommError),
+    /// Device allocation failed with the memory picture at the time.
+    DeviceOom {
+        what: String,
+        requested: usize,
+        used: usize,
+        free: usize,
+    },
     /// Anything else.
     Msg(String),
 }
@@ -64,6 +74,11 @@ impl From<JitError> for CoreError {
         CoreError::Jit(e)
     }
 }
+impl From<qdp_comm::CommError> for CoreError {
+    fn from(e: qdp_comm::CommError) -> Self {
+        CoreError::Comm(e)
+    }
+}
 
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -73,6 +88,17 @@ impl std::fmt::Display for CoreError {
             CoreError::Launch(e) => write!(f, "{e}"),
             CoreError::Jit(e) => write!(f, "{e}"),
             CoreError::Codegen(m) => write!(f, "codegen fault: {m}"),
+            CoreError::Comm(e) => write!(f, "comm failure: {e}"),
+            CoreError::DeviceOom {
+                what,
+                requested,
+                used,
+                free,
+            } => write!(
+                f,
+                "device memory exhausted allocating {what}: requested {requested} B \
+                 ({used} B in use, {free} B free)"
+            ),
             CoreError::Msg(m) => write!(f, "{m}"),
         }
     }

@@ -1,5 +1,5 @@
 //! Multi-rank evaluation: halo exchange and communication/computation
-//! overlap (paper §V).
+//! overlap (paper §V) over an arbitrary N-rank 4D decomposition.
 //!
 //! On distributed-memory systems the shift operations introduce data
 //! dependencies on off-node grid points. For an expression with shifts the
@@ -9,15 +9,27 @@
 //! compute kernel is launched on the inner sites while the transfer is in
 //! flight, and the face sites are evaluated once the data has arrived.
 //! Nested shifts ("shifts of shifts") are materialised into temporaries
-//! first — the paper executes them non-overlapping.
+//! first — the paper executes them non-overlapping. That materialisation is
+//! also why plain face exchange suffices for correctness on a grid split in
+//! several dimensions: every single-hop shift only reads the neighbour's
+//! face slab (which includes the slab's corner sites, owned by the direct
+//! neighbour), and multi-hop displacements go through temporaries. The
+//! diagonal-rank [`exchange_corner`](MultiRank::exchange_corner) helper
+//! exists for algorithms that want true corner traffic.
+//!
+//! Each split face `(mu, dir)` gets its **own comm stream** feeding the
+//! fork/halo_done event schedule, so one slow face does not serialise the
+//! others; the compute stream waits on every face's halo_done event before
+//! the face kernel runs. All comm primitives return structured errors
+//! ([`CoreError::Comm`]) so an injected rank failure is recoverable.
 
 use crate::context::QdpContext;
 use crate::eval::{self, CoreError, EvalParams, EvalReport, RemoteEnv};
-use qdp_gpu_sim::sync::Mutex;
 use qdp_comm::cluster::RankHandle;
 use qdp_expr::{Expr, FieldRef, ShiftDir};
+use qdp_gpu_sim::sync::Mutex;
 use qdp_gpu_sim::{DevicePtr, StreamId};
-use qdp_layout::{Decomposition, Dir, FieldLayout, Subset};
+use qdp_layout::{Decomposition, Dir, FieldLayout, RankGrid, Subset};
 use qdp_types::TypeShape;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -44,8 +56,8 @@ fn contains_shift(e: &Expr) -> bool {
 pub struct MultiRank {
     /// The rank-local context (own simulated device, own sub-grid).
     pub ctx: Arc<QdpContext>,
-    /// Global decomposition.
-    pub decomp: Decomposition,
+    /// This rank's view of the 4D rank grid (face + corner neighbours).
+    pub grid: RankGrid,
     /// This rank.
     pub rank: usize,
     /// Communication handle.
@@ -55,15 +67,17 @@ pub struct MultiRank {
     /// Overlap communication with inner-site computation (§V). When false,
     /// the whole lattice is evaluated after the exchange completes.
     pub overlap: bool,
-    /// Stream carrying gather kernels and the halo exchange.
-    pub comm_stream: StreamId,
     /// Stream carrying the inner-site and face compute kernels.
     pub compute_stream: StreamId,
-    /// Schedule the overlap window on real streams (gather + exchange on
-    /// `comm_stream`, inner kernel on `compute_stream`, event-wait before
-    /// the face kernel) instead of the legacy single-clock hand model.
-    /// Defaults on; `QDP_STREAM_OVERLAP=0` or [`set_stream_schedule`]
-    /// selects the legacy model (kept for bench comparison).
+    /// Per-face comm streams: `face_streams[mu][dir]` carries the gather
+    /// kernel, send and receive for halo face `(mu, dir)`.
+    face_streams: [[StreamId; 2]; 4],
+    /// Schedule the overlap window on real streams (gathers + exchange on
+    /// the per-face comm streams, inner kernel on `compute_stream`,
+    /// event-wait before the face kernel) instead of the legacy
+    /// single-clock hand model. Defaults on; `QDP_STREAM_OVERLAP=0` or
+    /// [`set_stream_schedule`] selects the legacy model (kept for bench
+    /// comparison).
     ///
     /// [`set_stream_schedule`]: MultiRank::set_stream_schedule
     stream_schedule: std::sync::atomic::AtomicBool,
@@ -81,24 +95,48 @@ impl MultiRank {
         overlap: bool,
     ) -> MultiRank {
         let rank = handle.rank;
+        assert_eq!(
+            handle.n_ranks,
+            decomp.n_ranks(),
+            "cluster size does not match the rank grid"
+        );
         handle.set_telemetry(Arc::clone(ctx.telemetry()));
-        let comm_stream = ctx.device().create_stream("comm");
         let compute_stream = ctx.device().create_stream("compute");
+        let face_streams = std::array::from_fn(|mu| {
+            let axis = ["x", "y", "z", "t"][mu];
+            [
+                ctx.device().create_stream(&format!("comm-{axis}+")),
+                ctx.device().create_stream(&format!("comm-{axis}-")),
+            ]
+        });
         let stream_schedule = std::env::var("QDP_STREAM_OVERLAP")
             .map(|v| v != "0")
             .unwrap_or(true);
         MultiRank {
             ctx,
-            decomp,
+            grid: RankGrid::new(decomp, rank),
             rank,
             handle,
             cuda_aware,
             overlap,
-            comm_stream,
             compute_stream,
+            face_streams,
             stream_schedule: std::sync::atomic::AtomicBool::new(stream_schedule),
             site_lists: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Global decomposition backing the rank grid.
+    pub fn decomp(&self) -> &Decomposition {
+        self.grid.decomp()
+    }
+
+    /// The comm stream dedicated to halo face `(mu, dir)`.
+    pub fn face_stream(&self, mu: usize, dir: ShiftDir) -> StreamId {
+        self.face_streams[mu][match dir {
+            ShiftDir::Forward => 0,
+            ShiftDir::Backward => 1,
+        }]
     }
 
     /// Select between the stream-engine overlap schedule (true, the
@@ -108,28 +146,74 @@ impl MultiRank {
             .store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Whether the §V overlap window runs on the two-stream schedule.
+    /// Whether the §V overlap window runs on the per-face stream schedule.
     pub fn stream_schedule(&self) -> bool {
         self.stream_schedule
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Upload (and cache) a site-list table; the upload is ordered on
-    /// `stream` (first call per key only — the table is pinned after that).
-    fn site_list(&self, key: &str, sites: &[u32], stream: StreamId) -> (DevicePtr, usize) {
+    /// `stream` (first call per key only — the table is pinned after that,
+    /// until the `MultiRank` is dropped).
+    fn site_list(
+        &self,
+        key: &str,
+        sites: &[u32],
+        stream: StreamId,
+    ) -> Result<(DevicePtr, usize), CoreError> {
         let mut map = self.site_lists.lock();
         if let Some(v) = map.get(key) {
-            return *v;
+            return Ok(*v);
         }
         let bytes: Vec<u8> = sites.iter().flat_map(|s| s.to_le_bytes()).collect();
-        let ptr = self
-            .ctx
-            .device()
-            .alloc(bytes.len().max(4))
-            .expect("device memory exhausted pinning site list");
+        let requested = bytes.len().max(4);
+        let ptr = self.ctx.device().alloc(requested).map_err(|_| {
+            let mem = self.ctx.device().memory();
+            CoreError::DeviceOom {
+                what: format!("site list {key}"),
+                requested,
+                used: mem.used(),
+                free: mem.free(),
+            }
+        })?;
         self.ctx.device().h2d_async(ptr, &bytes, stream);
         map.insert(key.to_string(), (ptr, sites.len()));
-        (ptr, sites.len())
+        Ok((ptr, sites.len()))
+    }
+
+    /// Exchange a payload with the diagonal (edge/corner) neighbour reached
+    /// by stepping once in each of `steps`: send `data` to that rank and
+    /// receive the matching payload arriving from the opposite diagonal.
+    /// SPMD-collective over all ranks. With every stepped dimension unsplit
+    /// this is the identity.
+    pub fn exchange_corner(
+        &self,
+        steps: &[(usize, Dir)],
+        data: Vec<u8>,
+        now: f64,
+    ) -> Result<(Vec<u8>, f64), CoreError> {
+        let to = self.grid.corner_neighbor(steps);
+        let opposite: Vec<(usize, Dir)> = steps
+            .iter()
+            .map(|&(mu, d)| {
+                (
+                    mu,
+                    match d {
+                        Dir::Forward => Dir::Backward,
+                        Dir::Backward => Dir::Forward,
+                    },
+                )
+            })
+            .collect();
+        let from = self.grid.corner_neighbor(&opposite);
+        if to == self.rank {
+            debug_assert_eq!(from, self.rank);
+            return Ok((data, now));
+        }
+        // send-then-recv is safe even when to == from (channels buffer)
+        let t = self.handle.send(to, data, now)?;
+        let (buf, arrival) = self.handle.recv(from, t)?;
+        Ok((buf, arrival))
     }
 
     /// Materialise nested shifts into temporaries (returns rewritten
@@ -203,7 +287,7 @@ impl MultiRank {
         let split: Vec<(usize, ShiftDir)> = shifts
             .iter()
             .copied()
-            .filter(|&(mu, _)| self.decomp.is_split(mu))
+            .filter(|&(mu, _)| self.grid.decomp().is_split(mu))
             .collect();
         if split.is_empty() {
             return eval::eval(&self.ctx, target, expr, &EvalParams::new());
@@ -227,17 +311,16 @@ impl MultiRank {
         let ptrs = self.ctx.cache().assure_on_device(&ids)?;
         let leaf_ptrs = &ptrs[..leaves.len()];
 
-        // Fork: gathers + exchange go on the comm stream, kernels on the
-        // compute stream; neither may start before the working set is ready
-        // on the (synchronising) default stream.
-        let xfer_stream = if streamed {
+        // Fork: gathers + exchange go on the per-face comm streams, kernels
+        // on the compute stream; none may start before the working set is
+        // ready on the (synchronising) default stream.
+        if streamed {
             let ready = device.record_event(StreamId::DEFAULT);
-            device.stream_wait_event(self.comm_stream, ready);
+            for &(mu, dir) in &split {
+                device.stream_wait_event(self.face_stream(mu, dir), ready);
+            }
             device.stream_wait_event(self.compute_stream, ready);
-            self.comm_stream
-        } else {
-            StreamId::DEFAULT
-        };
+        }
 
         let mut split_dims = [false; 4];
         for &(mu, _) in &split {
@@ -249,16 +332,21 @@ impl MultiRank {
         // send my own low slab backward; symmetrically for Backward.
         let mut pending: Vec<((usize, ShiftDir), usize, usize)> = Vec::new(); // (key, recv_from, bytes)
         for &(mu, dir) in &split {
+            let xfer_stream = if streamed {
+                self.face_stream(mu, dir)
+            } else {
+                StreamId::DEFAULT
+            };
             let (send_face_dir, send_to, recv_from) = match dir {
                 ShiftDir::Forward => (
                     Dir::Backward,
-                    self.decomp.neighbor_rank(self.rank, mu, Dir::Backward),
-                    self.decomp.neighbor_rank(self.rank, mu, Dir::Forward),
+                    self.grid.face_neighbor(mu, Dir::Backward),
+                    self.grid.face_neighbor(mu, Dir::Forward),
                 ),
                 ShiftDir::Backward => (
                     Dir::Forward,
-                    self.decomp.neighbor_rank(self.rank, mu, Dir::Forward),
-                    self.decomp.neighbor_rank(self.rank, mu, Dir::Backward),
+                    self.grid.face_neighbor(mu, Dir::Forward),
+                    self.grid.face_neighbor(mu, Dir::Backward),
                 ),
             };
             let face = geom.face_sites(mu, send_face_dir);
@@ -327,7 +415,7 @@ impl MultiRank {
                 device.advance_stream(xfer_stream, device.transfer_time(payload.len()));
             }
             let now = device.stream_now(xfer_stream);
-            let t_after = self.handle.send(send_to, payload, now);
+            let t_after = self.handle.send(send_to, payload, now)?;
             device.advance_stream_to(xfer_stream, t_after);
             pending.push(((mu, dir), recv_from, gather_bytes));
         }
@@ -345,9 +433,22 @@ impl MultiRank {
                     continue;
                 }
                 let bytes = iv_r * leaf.shape().n_reals() * leaf.ft.size_bytes();
-                let p = device.alloc(bytes).map_err(|e| {
-                    CoreError::Msg(format!("receive buffer allocation failed: {e}"))
-                })?;
+                let p = match device.alloc(bytes) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // free what we grabbed so an OOM mid-setup leaks nothing
+                        for q in allocations.drain(..) {
+                            device.free(q);
+                        }
+                        let mem = device.memory();
+                        return Err(CoreError::DeviceOom {
+                            what: format!("halo receive buffer ({mu},{dir:?})"),
+                            requested: bytes,
+                            used: mem.used(),
+                            free: mem.free(),
+                        });
+                    }
+                };
                 allocations.push(p);
                 bufs.push(p);
             }
@@ -358,150 +459,182 @@ impl MultiRank {
             recv: recv_bufs.clone(),
         };
 
-        let faces_for_inner: Vec<(usize, Dir)> =
-            split.iter().map(|&(mu, d)| (mu, to_dir(d))).collect();
-        let report;
+        // Everything past this point must free the receive buffers on both
+        // the success and the error path (a comm failure mid-exchange must
+        // not leak device memory), hence the immediately-run closure.
+        let result = (|| -> Result<EvalReport, CoreError> {
+            let faces_for_inner: Vec<(usize, Dir)> =
+                split.iter().map(|&(mu, d)| (mu, to_dir(d))).collect();
 
-        let receive_all = |st: StreamId| -> Result<(), CoreError> {
-            for &((mu, dir), recv_from, _bytes) in &pending {
-                let now = device.stream_now(st);
-                let (data, arrival) = self.handle.recv(recv_from, now);
-                device.advance_stream_to(st, arrival);
-                if !self.cuda_aware {
-                    device.advance_stream(st, device.transfer_time(data.len()));
+            // scatter one face's arrived payload into its receive buffers
+            let scatter = |mu: usize, dir: ShiftDir, data: &[u8]| {
+                let bufs = &recv_bufs[&(mu, dir)];
+                let mut off = 0usize;
+                for (li, leaf) in leaves.iter().enumerate() {
+                    if bufs[li] == 0 {
+                        continue; // leaf not communicated for this shift
+                    }
+                    let n = geom.face_vol(mu) * leaf.shape().n_reals() * leaf.ft.size_bytes();
+                    device.memory().copy_from_host(bufs[li], &data[off..off + n]);
+                    off += n;
                 }
-                // scatter into the per-leaf receive buffers
-                if self.ctx.payload_execution() {
-                    let bufs = &recv_bufs[&(mu, dir)];
-                    let mut off = 0usize;
-                    for (li, leaf) in leaves.iter().enumerate() {
-                        if bufs[li] == 0 {
-                            continue; // leaf not communicated for this shift
-                        }
-                        let n =
-                            geom.face_vol(mu) * leaf.shape().n_reals() * leaf.ft.size_bytes();
-                        device.memory().copy_from_host(bufs[li], &data[off..off + n]);
-                        off += n;
+            };
+
+            let receive_all = |st: StreamId| -> Result<(), CoreError> {
+                for &((mu, dir), recv_from, _bytes) in &pending {
+                    let now = device.stream_now(st);
+                    let (data, arrival) = self.handle.recv(recv_from, now)?;
+                    device.advance_stream_to(st, arrival);
+                    if !self.cuda_aware {
+                        device.advance_stream(st, device.transfer_time(data.len()));
+                    }
+                    if self.ctx.payload_execution() {
+                        scatter(mu, dir, &data);
                     }
                 }
-            }
-            Ok(())
-        };
+                Ok(())
+            };
 
-        if streamed {
-            // The §V overlap window on real streams: the inner kernel runs
-            // on the compute stream while the exchange is in flight on the
-            // comm stream; an event-wait orders the face kernel after the
-            // halo has arrived. `sync` joins the timelines — the window
-            // costs max(compute, comm), not their sum.
-            let overlap_span = self
-                .ctx
-                .telemetry()
-                .span("comm", "overlap_window")
-                .with_sim(device.stream_now(self.comm_stream));
-            let key_inner = format!("inner{:?}", faces_for_inner);
-            let inner_sites = geom.inner_sites(&faces_for_inner);
-            let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites, self.compute_stream);
-            let inner_report = eval::eval(
-                &self.ctx,
-                target,
-                expr,
-                &EvalParams::new()
-                    .device_sites(ptr_i, len_i)
-                    .remote(&remote)
-                    .stream(self.compute_stream),
-            )?;
-            receive_all(self.comm_stream)?;
-            overlap_span.end_with_sim(device.stream_now(self.comm_stream));
-            let halo_done = device.record_event(self.comm_stream);
-            device.stream_wait_event(self.compute_stream, halo_done);
-            // face kernel after arrival
-            let key_face = format!("face{:?}", faces_for_inner);
-            let face_sites = geom.face_union(&faces_for_inner);
-            let (ptr_f, len_f) = self.site_list(&key_face, &face_sites, self.compute_stream);
-            let face_report = eval::eval(
-                &self.ctx,
-                target,
-                expr,
-                &EvalParams::new()
-                    .device_sites(ptr_f, len_f)
-                    .remote(&remote)
-                    .stream(self.compute_stream),
-            )?;
-            device.sync();
-            report = EvalReport {
-                kernel_name: inner_report.kernel_name,
-                block_size: inner_report.block_size,
-                sim_time: device.now() - t_start,
-                threads: len_i + len_f,
-                bandwidth: inner_report.bandwidth,
-                flops_rate: face_report.flops_rate,
-            };
-        } else if self.overlap {
-            // Legacy hand model: inner kernel while data is in flight, all
-            // accounted on the single default-stream clock.
-            let overlap_span = self
-                .ctx
-                .telemetry()
-                .span("comm", "overlap_window")
-                .with_sim(device.now());
-            let key_inner = format!("inner{:?}", faces_for_inner);
-            let inner_sites = geom.inner_sites(&faces_for_inner);
-            let (ptr_i, len_i) = self.site_list(&key_inner, &inner_sites, StreamId::DEFAULT);
-            let inner_report = eval::eval(
-                &self.ctx,
-                target,
-                expr,
-                &EvalParams::new()
-                    .device_sites(ptr_i, len_i)
-                    .remote(&remote),
-            )?;
-            receive_all(StreamId::DEFAULT)?;
-            overlap_span.end_with_sim(device.now());
-            // face kernel after arrival
-            let key_face = format!("face{:?}", faces_for_inner);
-            let face_sites = geom.face_union(&faces_for_inner);
-            let (ptr_f, len_f) = self.site_list(&key_face, &face_sites, StreamId::DEFAULT);
-            let face_report = eval::eval(
-                &self.ctx,
-                target,
-                expr,
-                &EvalParams::new()
-                    .device_sites(ptr_f, len_f)
-                    .remote(&remote),
-            )?;
-            report = EvalReport {
-                kernel_name: inner_report.kernel_name,
-                block_size: inner_report.block_size,
-                sim_time: device.now() - t_start,
-                threads: len_i + len_f,
-                bandwidth: inner_report.bandwidth,
-                flops_rate: face_report.flops_rate,
-            };
-        } else {
-            receive_all(StreamId::DEFAULT)?;
-            let full = eval::eval(
-                &self.ctx,
-                target,
-                expr,
-                &EvalParams::new().remote(&remote),
-            )?;
-            report = EvalReport {
-                sim_time: device.now() - t_start,
-                ..full
-            };
-        }
+            if streamed {
+                // The §V overlap window on real streams: the inner kernel
+                // runs on the compute stream while each face's exchange is
+                // in flight on its own comm stream; per-face halo_done
+                // events order the face kernel after every arrival. `sync`
+                // joins the timelines — the window costs max(compute,
+                // slowest face), not their sum.
+                let overlap_span = self
+                    .ctx
+                    .telemetry()
+                    .span("comm", "overlap_window")
+                    .with_sim(t_start);
+                let key_inner = format!("inner{:?}", faces_for_inner);
+                let inner_sites = geom.inner_sites(&faces_for_inner);
+                let (ptr_i, len_i) =
+                    self.site_list(&key_inner, &inner_sites, self.compute_stream)?;
+                let inner_report = eval::eval(
+                    &self.ctx,
+                    target,
+                    expr,
+                    &EvalParams::new()
+                        .device_sites(ptr_i, len_i)
+                        .remote(&remote)
+                        .stream(self.compute_stream),
+                )?;
+                // Host-side receives stay in deterministic split order (the
+                // per-(from,to) channels are FIFO, so this keeps message
+                // matching well-defined even when forward and backward
+                // neighbour are the same rank), but each face's wait is
+                // clocked on its own stream.
+                let mut t_comm_end = t_start;
+                for &((mu, dir), recv_from, _bytes) in &pending {
+                    let st = self.face_stream(mu, dir);
+                    let now = device.stream_now(st);
+                    let (data, arrival) = self.handle.recv(recv_from, now)?;
+                    device.advance_stream_to(st, arrival);
+                    if !self.cuda_aware {
+                        device.advance_stream(st, device.transfer_time(data.len()));
+                    }
+                    if self.ctx.payload_execution() {
+                        scatter(mu, dir, &data);
+                    }
+                    let halo_done = device.record_event(st);
+                    device.stream_wait_event(self.compute_stream, halo_done);
+                    t_comm_end = t_comm_end.max(device.stream_now(st));
+                }
+                overlap_span.end_with_sim(t_comm_end);
+                // face kernel after every halo has arrived
+                let key_face = format!("face{:?}", faces_for_inner);
+                let face_sites = geom.face_union(&faces_for_inner);
+                let (ptr_f, len_f) =
+                    self.site_list(&key_face, &face_sites, self.compute_stream)?;
+                let face_report = eval::eval(
+                    &self.ctx,
+                    target,
+                    expr,
+                    &EvalParams::new()
+                        .device_sites(ptr_f, len_f)
+                        .remote(&remote)
+                        .stream(self.compute_stream),
+                )?;
+                device.sync();
+                Ok(EvalReport {
+                    kernel_name: inner_report.kernel_name,
+                    block_size: inner_report.block_size,
+                    sim_time: device.now() - t_start,
+                    threads: len_i + len_f,
+                    bandwidth: inner_report.bandwidth,
+                    flops_rate: face_report.flops_rate,
+                })
+            } else if self.overlap {
+                // Legacy hand model: inner kernel while data is in flight,
+                // all accounted on the single default-stream clock.
+                let overlap_span = self
+                    .ctx
+                    .telemetry()
+                    .span("comm", "overlap_window")
+                    .with_sim(device.now());
+                let key_inner = format!("inner{:?}", faces_for_inner);
+                let inner_sites = geom.inner_sites(&faces_for_inner);
+                let (ptr_i, len_i) =
+                    self.site_list(&key_inner, &inner_sites, StreamId::DEFAULT)?;
+                let inner_report = eval::eval(
+                    &self.ctx,
+                    target,
+                    expr,
+                    &EvalParams::new()
+                        .device_sites(ptr_i, len_i)
+                        .remote(&remote),
+                )?;
+                receive_all(StreamId::DEFAULT)?;
+                overlap_span.end_with_sim(device.now());
+                // face kernel after arrival
+                let key_face = format!("face{:?}", faces_for_inner);
+                let face_sites = geom.face_union(&faces_for_inner);
+                let (ptr_f, len_f) =
+                    self.site_list(&key_face, &face_sites, StreamId::DEFAULT)?;
+                let face_report = eval::eval(
+                    &self.ctx,
+                    target,
+                    expr,
+                    &EvalParams::new()
+                        .device_sites(ptr_f, len_f)
+                        .remote(&remote),
+                )?;
+                Ok(EvalReport {
+                    kernel_name: inner_report.kernel_name,
+                    block_size: inner_report.block_size,
+                    sim_time: device.now() - t_start,
+                    threads: len_i + len_f,
+                    bandwidth: inner_report.bandwidth,
+                    flops_rate: face_report.flops_rate,
+                })
+            } else {
+                receive_all(StreamId::DEFAULT)?;
+                let full = eval::eval(
+                    &self.ctx,
+                    target,
+                    expr,
+                    &EvalParams::new().remote(&remote),
+                )?;
+                Ok(EvalReport {
+                    sim_time: device.now() - t_start,
+                    ..full
+                })
+            }
+        })();
 
         for p in allocations {
             device.free(p);
         }
-        Ok(report)
+        result
     }
 
     /// Global `‖expr‖²`: local reduction + all-reduce across ranks.
     pub fn norm2(&self, expr: &Expr) -> Result<f64, CoreError> {
         let local = eval::norm2(&self.ctx, expr, Subset::All)?;
-        let (sum, t) = self.handle.allreduce_sum(&[local], self.ctx.device().now());
+        let (sum, t) = self
+            .handle
+            .allreduce_sum(&[local], self.ctx.device().now())?;
         self.ctx.device().advance_clock_to(t);
         Ok(sum[0])
     }
@@ -511,7 +644,7 @@ impl MultiRank {
         let (re, im) = eval::inner_product(&self.ctx, a, b, Subset::All)?;
         let (sum, t) = self
             .handle
-            .allreduce_sum(&[re, im], self.ctx.device().now());
+            .allreduce_sum(&[re, im], self.ctx.device().now())?;
         self.ctx.device().advance_clock_to(t);
         Ok((sum[0], sum[1]))
     }
@@ -519,8 +652,31 @@ impl MultiRank {
     /// Global `Σ expr` for a real expression.
     pub fn sum_real(&self, expr: &Expr) -> Result<f64, CoreError> {
         let local = eval::sum_real(&self.ctx, expr, Subset::All)?;
-        let (sum, t) = self.handle.allreduce_sum(&[local], self.ctx.device().now());
+        let (sum, t) = self
+            .handle
+            .allreduce_sum(&[local], self.ctx.device().now())?;
         self.ctx.device().advance_clock_to(t);
         Ok(sum[0])
+    }
+
+    /// All-reduce a raw vector of partial sums across the rank grid,
+    /// advancing the local device clock to the reduction's completion.
+    pub fn allreduce(&self, values: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let (sum, t) = self
+            .handle
+            .allreduce_sum(values, self.ctx.device().now())?;
+        self.ctx.device().advance_clock_to(t);
+        Ok(sum)
+    }
+}
+
+impl Drop for MultiRank {
+    fn drop(&mut self) {
+        // release the pinned site-list tables — N-rank sweeps construct
+        // hundreds of MultiRanks against long-lived contexts
+        let mut map = self.site_lists.lock();
+        for (_, (ptr, _)) in map.drain() {
+            self.ctx.device().free(ptr);
+        }
     }
 }

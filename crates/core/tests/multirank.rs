@@ -260,3 +260,155 @@ fn nested_shift_across_boundary_is_materialised() {
         }
     }
 }
+
+/// All-direction covariant derivative — every face of a 4D rank grid is
+/// exercised in both shift directions.
+fn all_dir_expr(
+    u: &LatticeColorMatrix<f64>,
+    psi: &LatticeFermion<f64>,
+) -> QExpr<Fermion<f64>> {
+    let mut e = derivative(u, psi, 0);
+    for mu in 1..4 {
+        e = e + derivative(u, psi, mu);
+    }
+    e
+}
+
+fn single_rank_all_dirs(global: [usize; 4]) -> Vec<Fermion<f64>> {
+    let ctx = QdpContext::new(
+        DeviceConfig::k20m_ecc_on(),
+        Geometry::new(global),
+        LayoutKind::SoA,
+    );
+    let g = ctx.geometry().clone();
+    let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |s| cm_at(g.coord_of(s)));
+    let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| fermion_at(g.coord_of(s)));
+    let out = LatticeFermion::<f64>::new(&ctx);
+    out.assign(all_dir_expr(&u, &psi)).unwrap();
+    out.to_vec()
+}
+
+fn run_grid(global: [usize; 4], rank_dims: [usize; 4], streamed: bool) -> Vec<Fermion<f64>> {
+    let n: usize = rank_dims.iter().product();
+    let results = qdp_comm::run_cluster(
+        n,
+        qdp_comm::LinkModel::infiniband_qdr(),
+        move |handle| {
+            let decomp = Decomposition::new(global, rank_dims);
+            let rank = handle.rank;
+            let ctx = QdpContext::new(
+                DeviceConfig::k20m_ecc_on(),
+                decomp.local_geometry(),
+                LayoutKind::SoA,
+            );
+            let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, true, true);
+            mr.set_stream_schedule(streamed);
+            let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |s| {
+                cm_at(decomp.global_coord(rank, s))
+            });
+            let psi = LatticeFermion::<f64>::from_fn(&ctx, |s| {
+                fermion_at(decomp.global_coord(rank, s))
+            });
+            let out = LatticeFermion::<f64>::new(&ctx);
+            mr.eval(out.fref(), &all_dir_expr(&u, &psi).0).unwrap();
+            out.to_vec()
+        },
+    );
+    let decomp = Decomposition::new(global, rank_dims);
+    let gg = Geometry::new(global);
+    let mut out = vec![Fermion::<f64>::default(); gg.vol()];
+    for (rank, local) in results.iter().enumerate() {
+        for (s, v) in local.iter().enumerate() {
+            out[gg.index_of(decomp.global_coord(rank, s))] = *v;
+        }
+    }
+    out
+}
+
+#[test]
+fn four_rank_2x1x1x2_matches_single_rank() {
+    let global = [8usize, 4, 4, 4];
+    let reference = single_rank_all_dirs(global);
+    assert_same(
+        &run_grid(global, [2, 1, 1, 2], true),
+        &reference,
+        "2x1x1x2 grid",
+    );
+}
+
+#[test]
+fn four_rank_1x2x2x1_matches_single_rank() {
+    let global = [8usize, 4, 4, 4];
+    let reference = single_rank_all_dirs(global);
+    assert_same(
+        &run_grid(global, [1, 2, 2, 1], true),
+        &reference,
+        "1x2x2x1 grid",
+    );
+}
+
+#[test]
+fn sixteen_rank_2x2x2x2_matches_single_rank() {
+    let global = [8usize, 4, 4, 4];
+    let reference = single_rank_all_dirs(global);
+    assert_same(
+        &run_grid(global, [2, 2, 2, 2], true),
+        &reference,
+        "2x2x2x2 grid (streamed)",
+    );
+    assert_same(
+        &run_grid(global, [2, 2, 2, 2], false),
+        &reference,
+        "2x2x2x2 grid (legacy schedule)",
+    );
+}
+
+#[test]
+fn non_power_of_two_rank_grid_matches_single_rank() {
+    // 3 ranks along y: exercises the binomial allreduce path's siblings —
+    // halo exchange with unequal fan-in/out and a rank count the butterfly
+    // cannot handle.
+    let global = [4usize, 6, 4, 4];
+    let reference = single_rank_all_dirs(global);
+    assert_same(
+        &run_grid(global, [1, 3, 1, 1], true),
+        &reference,
+        "1x3x1x1 grid",
+    );
+}
+
+#[test]
+fn corner_exchange_reaches_diagonal_ranks() {
+    let global = [8usize, 4, 4, 4];
+    let rank_dims = [2usize, 1, 1, 2];
+    let n: usize = rank_dims.iter().product();
+    let results = qdp_comm::run_cluster(
+        n,
+        qdp_comm::LinkModel::infiniband_qdr(),
+        move |handle| {
+            let decomp = Decomposition::new(global, rank_dims);
+            let rank = handle.rank;
+            let ctx = QdpContext::new(
+                DeviceConfig::k20m_ecc_on(),
+                decomp.local_geometry(),
+                LayoutKind::SoA,
+            );
+            let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, true, true);
+            use qdp_layout::Dir;
+            let steps = [(0usize, Dir::Forward), (3usize, Dir::Forward)];
+            let payload = vec![rank as u8; 4];
+            let (got, _) = mr
+                .exchange_corner(&steps, payload, ctx.device().now())
+                .unwrap();
+            (rank, got)
+        },
+    );
+    let decomp = Decomposition::new(global, rank_dims);
+    use qdp_layout::Dir;
+    for (rank, got) in &results {
+        // data arrives from the opposite diagonal
+        let grid = qdp_layout::RankGrid::new(decomp.clone(), *rank);
+        let from = grid.corner_neighbor(&[(0, Dir::Backward), (3, Dir::Backward)]);
+        assert_eq!(got, &vec![from as u8; 4], "rank {rank}");
+    }
+}

@@ -112,6 +112,87 @@ impl Decomposition {
     }
 }
 
+/// One rank's view of an N-rank 4D decomposition: its coordinate in the
+/// rank grid plus precomputed neighbour tables — the per-face neighbours
+/// that halo exchange talks to every `eval`, and diagonal (edge/corner)
+/// neighbours for exchanges whose displacement steps more than one split
+/// dimension at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankGrid {
+    decomp: Decomposition,
+    rank: usize,
+    coord: [usize; ND],
+    /// `faces[mu][dir as usize]` — neighbouring rank one step in `(mu, dir)`.
+    faces: [[usize; 2]; ND],
+}
+
+impl RankGrid {
+    pub fn new(decomp: Decomposition, rank: usize) -> RankGrid {
+        assert!(rank < decomp.n_ranks(), "rank {rank} out of grid");
+        let coord = decomp.rank_coord(rank);
+        let faces = std::array::from_fn(|mu| {
+            [
+                decomp.neighbor_rank(rank, mu, Dir::Forward),
+                decomp.neighbor_rank(rank, mu, Dir::Backward),
+            ]
+        });
+        RankGrid {
+            decomp,
+            rank,
+            coord,
+            faces,
+        }
+    }
+
+    pub fn decomp(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// This rank's Cartesian coordinate in the rank grid.
+    pub fn coord(&self) -> [usize; ND] {
+        self.coord
+    }
+
+    /// Precomputed face neighbour one step in `(mu, dir)` (self when `mu`
+    /// is unsplit).
+    pub fn face_neighbor(&self, mu: usize, dir: Dir) -> usize {
+        self.faces[mu][match dir {
+            Dir::Forward => 0,
+            Dir::Backward => 1,
+        }]
+    }
+
+    /// Which dimensions are split across ranks.
+    pub fn split_dims(&self) -> [bool; ND] {
+        std::array::from_fn(|mu| self.decomp.is_split(mu))
+    }
+
+    /// Number of split dimensions (0 = single-rank in every direction).
+    pub fn n_split(&self) -> usize {
+        self.split_dims().iter().filter(|&&s| s).count()
+    }
+
+    /// Diagonal neighbour: the rank displaced by one step in *each* of
+    /// `steps` (periodic wrap per dimension). Two steps in distinct
+    /// dimensions name an edge neighbour, three or four a corner — the
+    /// ranks a true corner exchange talks to.
+    pub fn corner_neighbor(&self, steps: &[(usize, Dir)]) -> usize {
+        let mut c = self.coord;
+        for &(mu, dir) in steps {
+            let l = self.decomp.rank_dims()[mu];
+            c[mu] = match dir {
+                Dir::Forward => (c[mu] + 1) % l,
+                Dir::Backward => (c[mu] + l - 1) % l,
+            };
+        }
+        self.decomp.rank_of_coord(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +240,51 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 4 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn rank_grid_faces_match_decomposition() {
+        let d = Decomposition::new([8, 8, 8, 8], [2, 2, 2, 2]);
+        for r in 0..d.n_ranks() {
+            let g = RankGrid::new(d.clone(), r);
+            assert_eq!(g.coord(), d.rank_coord(r));
+            for mu in 0..ND {
+                for dir in [Dir::Forward, Dir::Backward] {
+                    assert_eq!(g.face_neighbor(mu, dir), d.neighbor_rank(r, mu, dir));
+                }
+                // forward/backward are inverse walks
+                let fwd = g.face_neighbor(mu, Dir::Forward);
+                let back = RankGrid::new(d.clone(), fwd).face_neighbor(mu, Dir::Backward);
+                assert_eq!(back, r);
+            }
+        }
+        assert_eq!(RankGrid::new(d, 0).n_split(), 4);
+    }
+
+    #[test]
+    fn corner_neighbor_commutes_and_inverts() {
+        let d = Decomposition::new([8, 4, 8, 8], [2, 1, 2, 2]);
+        for r in 0..d.n_ranks() {
+            let g = RankGrid::new(d.clone(), r);
+            // stepping order must not matter
+            let a = g.corner_neighbor(&[(0, Dir::Forward), (3, Dir::Backward)]);
+            let b = g.corner_neighbor(&[(3, Dir::Backward), (0, Dir::Forward)]);
+            assert_eq!(a, b);
+            // the inverse walk from the corner neighbour comes back
+            let back = RankGrid::new(d.clone(), a)
+                .corner_neighbor(&[(0, Dir::Backward), (3, Dir::Forward)]);
+            assert_eq!(back, r);
+            // a corner step in an unsplit dimension is a no-op
+            assert_eq!(
+                g.corner_neighbor(&[(1, Dir::Forward)]),
+                r,
+                "unsplit dim corner step must stay on-rank"
+            );
+            // 3-step corner on a 2x1x2x2 grid: full diagonal is an involution
+            let diag = [(0, Dir::Forward), (2, Dir::Forward), (3, Dir::Forward)];
+            let far = g.corner_neighbor(&diag);
+            assert_eq!(RankGrid::new(d.clone(), far).corner_neighbor(&diag), r);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod geometry;
 pub mod layout_fn;
 pub mod subset;
 
-pub use decomp::Decomposition;
+pub use decomp::{Decomposition, RankGrid};
 pub use geometry::{Dir, Geometry, NeighborEntry};
 pub use layout_fn::{FieldLayout, LayoutKind};
 pub use subset::Subset;
