@@ -33,20 +33,19 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "ok: no registry dependencies in any Cargo.toml"
 
-# ---- Guard: no in-tree callers of the deprecated compile/eval API ----------
-# `CompileRequest` and `eval(…, &EvalParams)` are the only supported entry
-# points; the deprecated shims (`get_or_compile*`, `eval_expr*`) exist only
-# for downstream transition and for the equivalence tests that pin the
-# shims to the unified path.
-allow='crates/jit/src/cache\.rs|crates/core/src/eval\.rs|crates/core/src/lib\.rs|crates/core/tests/streams\.rs'
-stale=$(grep -rnE '(get_or_compile(_opt)?|eval_expr(_sites)?)\s*\(' --include='*.rs' crates examples \
-    | grep -vE "^($allow):" || true)
+# ---- Guard: no deprecated items anywhere in the workspace ------------------
+# The transition shims (`get_or_compile*`, `eval_expr*`) are gone;
+# `compile(CompileRequest)`, `eval(…, &EvalParams)` and
+# `QdpContext::builder()` are the only supported entry points. Nothing in
+# the tree may reintroduce a `#[deprecated]` item — deprecation happens in
+# a PR that also migrates every caller, never as a parking lot.
+stale=$(grep -rn '#\[deprecated' --include='*.rs' crates src examples || true)
 if [ -n "$stale" ]; then
-    echo "FAIL: deprecated compile/eval API used outside the shim whitelist:" >&2
+    echo "FAIL: #[deprecated] items found — migrate callers and remove them:" >&2
     echo "$stale" >&2
     exit 1
 fi
-echo "ok: no in-tree callers of the deprecated compile/eval API"
+echo "ok: zero #[deprecated] items in the workspace"
 
 # ---- Guard: no panic-on-hangup comm paths ----------------------------------
 # Peer loss is a recoverable condition: every comm path must surface a
@@ -206,6 +205,33 @@ done
 [ "$(probe_val restores "$campaign_out")" -ge 1 ]
 echo "ok: campaign kill -> checkpoint restore -> bit-identical history ($(probe_val restores "$campaign_out") restore)"
 
+# ---- Serving: multi-tenant front-end under and over the admission threshold -
+# Phase 1 (default knobs: 8 tenants x 6 mixed jobs over 8 pool streams,
+# windows within the caps): every job answered, zero rejections, and the
+# Perfetto trace must show >= 8 distinct `serve-<n>` device stream tracks —
+# the interleaving evidence. Phase 2 (tiny caps, aggressive windows):
+# rejections MUST happen and every request still gets an in-order
+# structured answer (deadlock=0 on both phases proves no hang).
+serve_out=/tmp/qdp_ci_serve_out.txt
+serve_trace=/tmp/qdp_ci_serve_trace.json
+rm -f "$serve_out" "$serve_trace"
+SERVE_TRACE="$serve_trace" \
+    cargo run --release --offline -p qdp-serve --bin serve_probe > "$serve_out"
+serve_val() { awk -F= -v k="$1" '$1 == k { print $2 }' "$serve_out"; }
+[ "$(serve_val tenants)" -ge 8 ]
+[ "$(serve_val rejected)" -eq 0 ]
+[ "$(serve_val failed)" -eq 0 ]
+[ "$(serve_val deadlock)" -eq 0 ]
+[ "$(serve_val min_tenant_completed)" -ge 1 ]
+[ "$(serve_val streams_used)" -ge 8 ]
+[ "$(serve_val stream_tracks)" -ge 8 ]
+[ "$(serve_val sat_rejected)" -ge 1 ]
+[ "$(serve_val sat_failed)" -eq 0 ]
+[ "$(serve_val sat_deadlock)" -eq 0 ]
+echo "ok: serving front-end ($(serve_val tenants) tenants, $(serve_val stream_tracks) stream tracks, \
+$(serve_val jobs_per_sec) jobs/s, p99 $(serve_val p99_ms) ms; saturation rejected $(serve_val sat_rejected) without deadlock)"
+rm -f "$serve_out" "$serve_trace"
+
 # ---- Bench regression gate against the committed baseline -------------------
 # Re-run the framework suite (short budget — the noisy-row floor absorbs
 # the extra variance) and judge every row of the committed
@@ -244,6 +270,8 @@ grep -q '"fuse_launches_saved_pct"' BENCH_framework.json
 grep -q '"nrank_eval_time_ms_n4"' BENCH_framework.json
 grep -q '"nrank_eval_time_ms_n256"' BENCH_framework.json
 grep -q '"nrank_scaling_efficiency_gain_pct"' BENCH_framework.json
-echo "ok: framework bench recorded optimizer before/after, cold/warm persist, overlap legacy-vs-stream, fusion before/after + N-rank strong-scaling rows"
+grep -q '"serve_jobs_per_sec"' BENCH_framework.json
+grep -q '"serve_p99_latency_ms"' BENCH_framework.json
+echo "ok: framework bench recorded optimizer before/after, cold/warm persist, overlap legacy-vs-stream, fusion before/after, N-rank strong-scaling + serving rows"
 
 echo "ci.sh: all green (offline build + workspace tests + stream engine + observability smoke + conformance + optimizer + fusion + persist + perf gate + bench)"

@@ -424,6 +424,58 @@ fn bench_strong_scaling(c: &mut Harness) {
     );
 }
 
+/// Multi-tenant serving throughput and tail latency: a full in-process
+/// serving session (shared context, stream pool, DRR scheduler) per
+/// sample. Wall-clock rows, so they are recorded with per-session samples
+/// — the regression gate applies the noisy-row floor, not the 2%
+/// deterministic one. `serve_jobs_per_sec` improves upward,
+/// `serve_p99_latency_ms` downward.
+fn bench_serving(c: &mut Harness) {
+    use qdp_serve::{JobSpec, ServeConfig, Server, TenantSpec};
+    const SESSIONS: usize = 3;
+    const TENANTS: usize = 4;
+    const JOBS_PER_TENANT: usize = 6;
+    let mut jps = Vec::with_capacity(SESSIONS);
+    let mut p99 = Vec::with_capacity(SESSIONS);
+    for round in 0..SESSIONS {
+        let mut cfg = ServeConfig::new(qdp_core::QdpConfig::new());
+        cfg.geometry = Geometry::symmetric(4);
+        cfg.workers = 4;
+        cfg.tenant_cap = 2 * JOBS_PER_TENANT;
+        cfg.queue_cap = 2 * TENANTS * JOBS_PER_TENANT;
+        let tenants: Vec<TenantSpec> = (0..TENANTS)
+            .map(|t| TenantSpec::new(format!("bench{t}"), 7 + (round * TENANTS + t) as u64))
+            .collect();
+        let server = Server::start(&cfg, &tenants);
+        let mut tickets = Vec::new();
+        for j in 0..JOBS_PER_TENANT {
+            for t in 0..TENANTS {
+                let spec = if (t + j) % 3 == 0 {
+                    JobSpec::CgSolve {
+                        mass: 0.4,
+                        seed: (t * 100 + j) as u64,
+                        tol: 1e-6,
+                        max_iters: 25,
+                    }
+                } else {
+                    JobSpec::Plaquette
+                };
+                tickets.push(server.submit(t, spec).expect("caps sized for the batch"));
+            }
+        }
+        for ticket in tickets {
+            ticket.wait().expect("bench jobs succeed");
+        }
+        server.drain();
+        let stats = server.stats();
+        jps.push(stats.jobs_per_sec);
+        p99.push(stats.p99_latency_ms);
+        server.shutdown();
+    }
+    c.record_samples("serve_jobs_per_sec", &jps);
+    c.record_samples("serve_p99_latency_ms", &p99);
+}
+
 /// Reduction (norm2) end to end.
 fn bench_reduction(c: &mut Harness) {
     let ctx = setup_ctx(8);
@@ -446,4 +498,5 @@ pub fn run_all(h: &mut Harness) {
     bench_persist(h);
     bench_overlap(h);
     bench_strong_scaling(h);
+    bench_serving(h);
 }

@@ -89,9 +89,14 @@ pub enum Direction {
     HigherIsBetter,
 }
 
-/// Times improve downward; bandwidths, gains and savings improve upward.
+/// Times improve downward; bandwidths, gains, savings and rates improve
+/// upward.
 pub fn direction_for(name: &str) -> Direction {
-    if name.contains("bandwidth") || name.contains("gain") || name.contains("saved") {
+    if name.contains("bandwidth")
+        || name.contains("gain")
+        || name.contains("saved")
+        || name.contains("per_sec")
+    {
         Direction::HigherIsBetter
     } else {
         Direction::LowerIsBetter
@@ -274,6 +279,14 @@ mod tests {
         );
         assert_eq!(
             direction_for("cg_10_iterations_fused_vs_unfused"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_for("serve_jobs_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("serve_p99_latency_ms"),
             Direction::LowerIsBetter
         );
     }

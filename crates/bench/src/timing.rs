@@ -269,6 +269,30 @@ impl Harness {
         ));
     }
 
+    /// Record a derived metric measured several times (e.g. once per
+    /// serving session): full statistics over the given samples, so the
+    /// regression gate judges it with the noisy-row floor and the σ band
+    /// rather than the tight deterministic floor. Subject to the same name
+    /// filter as [`Harness::bench_function`].
+    pub fn record_samples(&mut self, name: &str, samples: &[f64]) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if samples.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let stats = Stats::from_samples(samples);
+        println!(
+            "{name:<40} median {:.4} over {} samples",
+            stats.median,
+            stats.samples
+        );
+        self.results.push((name.to_string(), stats));
+    }
+
     /// Number of benchmarks actually run (post-filter).
     pub fn n_run(&self) -> usize {
         self.results.len()

@@ -38,13 +38,19 @@ pub fn checkpoint_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("hmc_rank{rank}.ckpt.json"))
 }
 
+/// The campaign checkpoint directory: the configured override when set,
+/// else `default`.
+pub fn dir_from(cfg: &qdp_core::QdpConfig, default: &Path) -> PathBuf {
+    cfg.checkpoint_dir
+        .clone()
+        .unwrap_or_else(|| default.to_path_buf())
+}
+
 /// The campaign checkpoint directory: `QDP_CHECKPOINT_DIR` when set and
-/// non-empty, else `default`.
+/// non-empty, else `default` (shorthand for [`dir_from`] over
+/// `QdpConfig::from_env()`).
 pub fn dir_from_env(default: &Path) -> PathBuf {
-    match std::env::var(ENV_DIR) {
-        Ok(d) if !d.is_empty() => PathBuf::from(d),
-        _ => default.to_path_buf(),
-    }
+    dir_from(&qdp_core::QdpConfig::from_env(), default)
 }
 
 /// Borrowed view of the state a rank checkpoints at trajectory start

@@ -248,9 +248,7 @@ impl WilsonDirac {
         let ctx = Arc::clone(g.context());
         let even_stream = ctx.device().create_stream("dslash-even");
         let odd_stream = ctx.device().create_stream("dslash-odd");
-        let streamed = std::env::var("QDP_STREAM_DSLASH")
-            .map(|v| v != "0")
-            .unwrap_or(true);
+        let streamed = ctx.config().stream_dslash;
         WilsonDirac {
             u,
             mass,

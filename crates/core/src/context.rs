@@ -2,6 +2,7 @@
 //! auto-tuner, geometry and the device-resident tables (neighbour tables,
 //! subset site lists).
 
+use crate::config::{QdpConfig, QdpContextBuilder};
 use qdp_gpu_sim::sync::Mutex;
 use qdp_cache::MemoryCache;
 use qdp_expr::ShiftDir;
@@ -22,6 +23,7 @@ pub struct QdpContext {
     tuner: AutoTuner,
     geom: Geometry,
     layout: LayoutKind,
+    config: QdpConfig,
     nbr_tables: Mutex<HashMap<(usize, ShiftDir, bool), DevicePtr>>,
     subset_tables: Mutex<HashMap<Subset, (DevicePtr, usize)>>,
     ptx_texts: Mutex<HashMap<String, Arc<str>>>,
@@ -32,38 +34,72 @@ pub struct QdpContext {
 }
 
 impl QdpContext {
-    /// Bring up a context on a fresh simulated device. Telemetry is
-    /// configured from the environment (`QDP_PROFILE` / `QDP_TRACE`); use
-    /// [`QdpContext::with_telemetry`] to inject a registry (e.g. in tests).
-    pub fn new(cfg: DeviceConfig, geom: Geometry, layout: LayoutKind) -> Arc<QdpContext> {
-        QdpContext::with_telemetry(cfg, geom, layout, Arc::new(Telemetry::from_env()))
+    /// Start building a context over `geom` — the one construction entry
+    /// point. Defaults: K20x (ECC off), SoA layout, default [`QdpConfig`]
+    /// (no environment is consulted; chain `.config(QdpConfig::from_env())`
+    /// for env-driven behaviour).
+    pub fn builder(geom: Geometry) -> QdpContextBuilder {
+        QdpContextBuilder::new(geom)
     }
 
-    /// Bring up a context whose whole stack (device, software cache, JIT
-    /// cache, launcher) records into `telemetry`. The persistent kernel
-    /// store is configured from the environment (`QDP_CACHE_DIR` /
-    /// `QDP_CACHE` / `QDP_CACHE_CLEAR`); use
-    /// [`QdpContext::with_kernel_store`] to inject one directly in tests.
+    /// Bring up a context on a fresh simulated device, configured from the
+    /// environment (`QdpConfig::from_env()` — all `QDP_*` knobs honoured).
+    /// Use [`QdpContext::builder`] for environment-free construction.
+    pub fn new(cfg: DeviceConfig, geom: Geometry, layout: LayoutKind) -> Arc<QdpContext> {
+        QdpContext::builder(geom)
+            .device(cfg)
+            .layout(layout)
+            .config(QdpConfig::from_env())
+            .build()
+    }
+
+    /// Bring up an environment-configured context whose whole stack
+    /// (device, software cache, JIT cache, launcher) records into an
+    /// injected `telemetry` registry (e.g. in tests).
     pub fn with_telemetry(
         cfg: DeviceConfig,
         geom: Geometry,
         layout: LayoutKind,
         telemetry: Arc<Telemetry>,
     ) -> Arc<QdpContext> {
-        let store = KernelStore::from_env(&cfg.fingerprint(), &telemetry);
-        QdpContext::with_kernel_store(cfg, geom, layout, telemetry, store)
+        QdpContext::builder(geom)
+            .device(cfg)
+            .layout(layout)
+            .config(QdpConfig::from_env())
+            .telemetry(telemetry)
+            .build()
     }
 
-    /// Bring up a context backed by an explicit persistent kernel store
-    /// (`None` disables persistence regardless of the environment). The
-    /// store's device fingerprint should be `cfg.fingerprint()` — a store
-    /// opened for a different device simply never hits.
+    /// Bring up an environment-configured context backed by an explicit
+    /// persistent kernel store (`None` disables persistence regardless of
+    /// the environment). The store's device fingerprint should be
+    /// `cfg.fingerprint()` — a store opened for a different device simply
+    /// never hits.
     pub fn with_kernel_store(
         cfg: DeviceConfig,
         geom: Geometry,
         layout: LayoutKind,
         telemetry: Arc<Telemetry>,
         store: Option<Arc<KernelStore>>,
+    ) -> Arc<QdpContext> {
+        QdpContext::builder(geom)
+            .device(cfg)
+            .layout(layout)
+            .config(QdpConfig::from_env())
+            .telemetry(telemetry)
+            .kernel_store(store)
+            .build()
+    }
+
+    /// The builder's final assembly step: every construction path funnels
+    /// here with all choices already resolved.
+    pub(crate) fn assemble(
+        cfg: DeviceConfig,
+        geom: Geometry,
+        layout: LayoutKind,
+        telemetry: Arc<Telemetry>,
+        store: Option<Arc<KernelStore>>,
+        config: QdpConfig,
     ) -> Arc<QdpContext> {
         // Register the registry with the panic hook so a crash anywhere in
         // the stack dumps the flight recorder's black box to disk.
@@ -77,6 +113,7 @@ impl QdpContext {
             device,
             geom,
             layout,
+            config,
             nbr_tables: Mutex::new(HashMap::new()),
             subset_tables: Mutex::new(HashMap::new()),
             ptx_texts: Mutex::new(HashMap::new()),
@@ -85,6 +122,11 @@ impl QdpContext {
             fuse_override: Mutex::new(None),
             store,
         })
+    }
+
+    /// The resolved runtime configuration this context was built with.
+    pub fn config(&self) -> &QdpConfig {
+        &self.config
     }
 
     /// The telemetry registry shared by every layer of this context.
@@ -160,35 +202,34 @@ impl QdpContext {
     }
 
     /// Optimizer level in effect for expressions evaluated on this context:
-    /// a per-context override if one was set, otherwise `QDP_OPT` read
-    /// fresh from the environment (so toggling the variable mid-process
-    /// takes effect — the JIT cache keys on the level, never serving a
-    /// kernel compiled under the other setting).
+    /// a per-context override if one was set, otherwise the configured
+    /// level (`QDP_OPT` captured at construction via `QdpConfig::from_env`
+    /// on the env-driven paths — the JIT cache keys on the level, never
+    /// serving a kernel compiled under the other setting).
     pub fn opt_level(&self) -> OptLevel {
-        self.opt_override.lock().unwrap_or_else(OptLevel::from_env)
+        self.opt_override.lock().unwrap_or(self.config.opt_level)
     }
 
     /// Pin (`Some`) or unpin (`None`) the optimizer level for this context,
-    /// overriding `QDP_OPT`. Used by differential tests that evaluate the
-    /// same expression optimized and unoptimized inside one process.
+    /// overriding the configured level. Used by differential tests that
+    /// evaluate the same expression optimized and unoptimized inside one
+    /// process.
     pub fn set_opt_level(&self, level: Option<OptLevel>) {
         *self.opt_override.lock() = level;
     }
 
     /// Whether [`QdpContext::deferred`] scopes actually fuse: a per-context
-    /// override if one was set, otherwise `QDP_FUSE` read fresh from the
-    /// environment (default on; `QDP_FUSE=0` restores per-expression
+    /// override if one was set, otherwise the configured setting (default
+    /// on; `QDP_FUSE=0` on the env-driven paths restores per-expression
     /// launches bit-exactly — every deferred call becomes an immediate
     /// [`crate::eval`]).
     pub fn fuse_enabled(&self) -> bool {
-        self.fuse_override
-            .lock()
-            .unwrap_or_else(|| std::env::var("QDP_FUSE").map_or(true, |v| v != "0"))
+        self.fuse_override.lock().unwrap_or(self.config.fuse)
     }
 
     /// Pin (`Some`) or unpin (`None`) fusion for this context, overriding
-    /// `QDP_FUSE`. Used by differential tests that run the same statement
-    /// sequence fused and unfused inside one process.
+    /// the configured setting. Used by differential tests that run the same
+    /// statement sequence fused and unfused inside one process.
     pub fn set_fuse(&self, on: Option<bool>) {
         *self.fuse_override.lock() = on;
     }

@@ -206,9 +206,8 @@ pub enum SiteSpec<'a> {
     },
 }
 
-/// Parameters for one evaluation through [`eval`] — the single entry point
-/// the old `eval_expr` / `eval_expr_sites` / `eval_impl` trio collapsed
-/// into.
+/// Parameters for one evaluation through [`eval`] — the single evaluation
+/// entry point.
 ///
 /// ```ignore
 /// eval(&ctx, target, &expr, &EvalParams::new())?;                        // all sites
@@ -479,48 +478,6 @@ pub fn eval(
     }
 }
 
-/// Deprecated shim for [`eval`] over a subset.
-#[deprecated(note = "use eval(ctx, target, expr, &EvalParams::new().subset(subset))")]
-pub fn eval_expr(
-    ctx: &QdpContext,
-    target: FieldRef,
-    expr: &Expr,
-    subset: Subset,
-) -> Result<EvalReport, CoreError> {
-    eval(ctx, target, expr, &EvalParams::new().subset(subset))
-}
-
-/// Deprecated shim for [`eval`] over a host-side site list.
-#[deprecated(note = "use eval(ctx, target, expr, &EvalParams::new().sites(sites))")]
-pub fn eval_expr_sites(
-    ctx: &QdpContext,
-    target: FieldRef,
-    expr: &Expr,
-    sites: &[u32],
-) -> Result<EvalReport, CoreError> {
-    eval(ctx, target, expr, &EvalParams::new().sites(sites))
-}
-
-/// Deprecated shim for [`eval`] with an explicit [`SiteSel`] and remote
-/// environment (the multi-rank overlap machinery's old entry point).
-#[deprecated(note = "use eval(ctx, target, expr, &EvalParams) with device_sites/remote")]
-pub fn eval_impl(
-    ctx: &QdpContext,
-    target: FieldRef,
-    expr: &Expr,
-    sel: SiteSel,
-    remote: Option<&RemoteEnv>,
-) -> Result<EvalReport, CoreError> {
-    let mut params = match sel {
-        SiteSel::Subset(s) => EvalParams::new().subset(s),
-        SiteSel::List { ptr, len } => EvalParams::new().device_sites(ptr, len),
-    };
-    if let Some(r) = remote {
-        params = params.remote(r);
-    }
-    eval(ctx, target, expr, &params)
-}
-
 /// The launch path shared by every [`eval`] route.
 fn eval_with(
     ctx: &QdpContext,
@@ -550,7 +507,7 @@ fn eval_with(
     } = plan;
     let tel = ctx.telemetry();
     let span = tel
-        .span("eval", "eval_expr")
+        .span("eval", "eval")
         .with_sim(ctx.device().stream_now(stream));
 
     let ptx = ctx.try_ptx_for_key(&plan.key, || {
@@ -787,12 +744,13 @@ pub fn eval_reference_sites(
 // ---------------------------------------------------------------------------
 
 /// Account the runtime tree-reduction pass as a second kernel (see the
-/// substitution note in DESIGN.md), then sum the temporary on the host side
-/// of the simulator.
+/// substitution note in DESIGN.md) on `stream`, then sum the temporary on
+/// the host side of the simulator.
 fn reduce_device_sum(
     ctx: &QdpContext,
     temp: FieldRef,
     n_comp: usize,
+    stream: StreamId,
 ) -> Result<Vec<f64>, CoreError> {
     let vol = ctx.geometry().vol();
     let ptr = ctx.cache().assure_on_device(&[temp.id])?[0];
@@ -811,7 +769,7 @@ fn reduce_device_sum(
         double_precision: temp.ft == FloatType::F64,
     };
     ctx.device()
-        .account_launch(&shape, 128)
+        .account_launch_on(&shape, 128, stream)
         .map_err(CoreError::Launch)?;
 
     let mem = ctx.device().memory();
@@ -832,6 +790,17 @@ fn reduce_device_sum(
 
 /// `Σ_x expr(x)` for a real-kind expression over a subset.
 pub fn sum_real(ctx: &QdpContext, expr: &Expr, subset: Subset) -> Result<f64, CoreError> {
+    sum_real_with(ctx, expr, &EvalParams::new().subset(subset))
+}
+
+/// [`sum_real`] under full [`EvalParams`] control: the payload evaluation
+/// *and* the reduction pass run on `params`' stream, so concurrent jobs
+/// reduce without synchronising each other's timelines.
+pub fn sum_real_with(
+    ctx: &QdpContext,
+    expr: &Expr,
+    params: &EvalParams<'_>,
+) -> Result<f64, CoreError> {
     if expr.kind()? != ElemKind::Real {
         return Err(CoreError::Msg("sum_real of non-real expression".into()));
     }
@@ -844,8 +813,8 @@ pub fn sum_real(ctx: &QdpContext, expr: &Expr, subset: Subset) -> Result<f64, Co
         ft,
     };
     let r = (|| {
-        eval(ctx, temp, expr, &EvalParams::new().subset(subset))?;
-        let s = reduce_device_sum(ctx, temp, 1)?;
+        eval(ctx, temp, expr, params)?;
+        let s = reduce_device_sum(ctx, temp, 1, params.stream)?;
         Ok(s[0])
     })();
     ctx.cache().unregister(id);
@@ -857,6 +826,16 @@ pub fn sum_complex(
     ctx: &QdpContext,
     expr: &Expr,
     subset: Subset,
+) -> Result<(f64, f64), CoreError> {
+    sum_complex_with(ctx, expr, &EvalParams::new().subset(subset))
+}
+
+/// [`sum_complex`] under full [`EvalParams`] control (see
+/// [`sum_real_with`]).
+pub fn sum_complex_with(
+    ctx: &QdpContext,
+    expr: &Expr,
+    params: &EvalParams<'_>,
 ) -> Result<(f64, f64), CoreError> {
     if expr.kind()? != ElemKind::Complex {
         return Err(CoreError::Msg("sum_complex of non-complex expression".into()));
@@ -870,8 +849,8 @@ pub fn sum_complex(
         ft,
     };
     let r = (|| {
-        eval(ctx, temp, expr, &EvalParams::new().subset(subset))?;
-        let s = reduce_device_sum(ctx, temp, 2)?;
+        eval(ctx, temp, expr, params)?;
+        let s = reduce_device_sum(ctx, temp, 2, params.stream)?;
         Ok((s[0], s[1]))
     })();
     ctx.cache().unregister(id);
@@ -880,8 +859,17 @@ pub fn sum_complex(
 
 /// `‖expr‖² = Σ_x Σ_comp |comp|²`.
 pub fn norm2(ctx: &QdpContext, expr: &Expr, subset: Subset) -> Result<f64, CoreError> {
+    norm2_with(ctx, expr, &EvalParams::new().subset(subset))
+}
+
+/// [`norm2`] under full [`EvalParams`] control (see [`sum_real_with`]).
+pub fn norm2_with(
+    ctx: &QdpContext,
+    expr: &Expr,
+    params: &EvalParams<'_>,
+) -> Result<f64, CoreError> {
     let n2 = Expr::Unary(qdp_expr::UnaryOp::LocalNorm2, Box::new(expr.clone()));
-    sum_real(ctx, &n2, subset)
+    sum_real_with(ctx, &n2, params)
 }
 
 /// `⟨a, b⟩ = Σ_x Σ_comp conj(a)·b`.
@@ -891,10 +879,21 @@ pub fn inner_product(
     b: &Expr,
     subset: Subset,
 ) -> Result<(f64, f64), CoreError> {
+    inner_product_with(ctx, a, b, &EvalParams::new().subset(subset))
+}
+
+/// [`inner_product`] under full [`EvalParams`] control (see
+/// [`sum_real_with`]).
+pub fn inner_product_with(
+    ctx: &QdpContext,
+    a: &Expr,
+    b: &Expr,
+    params: &EvalParams<'_>,
+) -> Result<(f64, f64), CoreError> {
     let ip = Expr::Binary(
         qdp_expr::BinaryOp::LocalInnerProduct,
         Box::new(a.clone()),
         Box::new(b.clone()),
     );
-    sum_complex(ctx, &ip, subset)
+    sum_complex_with(ctx, &ip, params)
 }

@@ -20,12 +20,14 @@
 //! ```
 
 pub mod codegen;
+pub mod config;
 pub mod context;
 pub mod eval;
 pub mod field;
 pub mod multinode;
 
 pub use codegen::fuse::{codegen_fused_ptx, eval_fused_sequence, FusionScope};
+pub use config::{QdpConfig, QdpContextBuilder};
 pub use context::QdpContext;
 pub use qdp_gpu_sim::{Event, StreamId};
 pub use qdp_ptx::opt::OptLevel;
@@ -33,14 +35,11 @@ pub use eval::{
     codegen_ptx, eval, eval_reference, eval_reference_sites, plan_codegen, plan_codegen_at,
     render_ptx, CodegenPlan, CoreError, EvalParams, EvalReport, SiteSpec,
 };
-// Deprecated shims, re-exported so downstream code keeps compiling during
-// migration to `eval` + `EvalParams`.
-#[allow(deprecated)]
-pub use eval::{eval_expr, eval_expr_sites};
 pub use field::{
     adj, clover_mul, conj, cscale, diag_fill, expm, gamma, gamma_mu, imag, outer_color, real,
-    reduce_inner_product,
-    reduce_norm2, reduce_sum_complex, reduce_sum_real, shift, times_i, times_minus_i, trace,
+    reduce_inner_product, reduce_inner_product_with,
+    reduce_norm2, reduce_norm2_with, reduce_sum_complex, reduce_sum_complex_with,
+    reduce_sum_real, reduce_sum_real_with, shift, times_i, times_minus_i, trace,
     trace_spin, transpose, GammaFactor, Lattice, LatticeCloverDiag, LatticeCloverTriang,
     LatticeColorMatrix, LatticeComplex, LatticeFermion, LatticeReal, LatticeSpinMatrix, MatrixLike,
     Multi1d, QExpr, SiteComplex, SiteElem, SiteReal,
@@ -49,6 +48,7 @@ pub use field::{
 /// The commonly needed names.
 pub mod prelude {
     pub use crate::codegen::fuse::FusionScope;
+    pub use crate::config::{QdpConfig, QdpContextBuilder};
     pub use crate::context::QdpContext;
     pub use crate::eval::{CoreError, EvalParams, EvalReport, SiteSpec};
     pub use crate::field::*;

@@ -109,9 +109,7 @@ impl MultiRank {
                 ctx.device().create_stream(&format!("comm-{axis}-")),
             ]
         });
-        let stream_schedule = std::env::var("QDP_STREAM_OVERLAP")
-            .map(|v| v != "0")
-            .unwrap_or(true);
+        let stream_schedule = ctx.config().stream_overlap;
         MultiRank {
             ctx,
             grid: RankGrid::new(decomp, rank),

@@ -82,7 +82,7 @@ fn profile_report_shows_eval_spans_and_cache_traffic() {
     run_settling_workload(&ctx);
     let report = ctx.profile_report();
 
-    let eval = report.span("eval/eval_expr").expect("eval span");
+    let eval = report.span("eval/eval").expect("eval span");
     assert_eq!(eval.count, 16);
     assert!(eval.wall > 0.0);
     assert!(eval.sim > 0.0, "eval spans must carry the simulated clock");

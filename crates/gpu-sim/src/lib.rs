@@ -28,6 +28,7 @@ pub mod device;
 pub mod memory;
 pub mod par;
 pub mod perf;
+pub mod pool;
 pub mod stream;
 pub mod sync;
 
@@ -35,6 +36,7 @@ pub use config::DeviceConfig;
 pub use device::{Device, DeviceStats};
 pub use memory::{DeviceMemory, DevicePtr};
 pub use perf::{KernelShape, LaunchError, LaunchTiming};
+pub use pool::{StreamLease, StreamPool};
 pub use stream::{Event, StreamId};
 
 /// Errors from device operations.

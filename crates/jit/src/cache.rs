@@ -244,24 +244,6 @@ impl KernelCache {
         Ok(kernel)
     }
 
-    /// Deprecated shim for [`KernelCache::compile`] with a verbatim request.
-    #[deprecated(note = "use KernelCache::compile(CompileRequest::new(ptx))")]
-    pub fn get_or_compile(&self, ptx_text: &str) -> Result<Arc<CompiledKernel>, JitError> {
-        self.compile(CompileRequest::new(ptx_text))
-    }
-
-    /// Deprecated shim for [`KernelCache::compile`] with an explicit level.
-    #[deprecated(
-        note = "use KernelCache::compile(CompileRequest::new(ptx).opt_level(level))"
-    )]
-    pub fn get_or_compile_opt(
-        &self,
-        ptx_text: &str,
-        level: OptLevel,
-    ) -> Result<Arc<CompiledKernel>, JitError> {
-        self.compile(CompileRequest::new(ptx_text).opt_level(level))
-    }
-
     /// Report the optimizer's per-pass counters as `opt.*` telemetry (the
     /// lines `QDP_PROFILE=1` prints under "counters").
     fn record_opt_stats(&self, s: &OptStats) {
@@ -418,10 +400,9 @@ mod tests {
             .unwrap();
         assert!(Arc::ptr_eq(&opt, &again));
         assert_eq!(cache.stats().hits, 1);
-        // The deprecated shim routes to the opt-off configuration.
-        #[allow(deprecated)]
-        let legacy = cache.get_or_compile(&text).unwrap();
-        assert!(Arc::ptr_eq(&plain, &legacy));
+        // A default (opt-level-free) request routes to the opt-off entry.
+        let verbatim = cache.compile(CompileRequest::new(&text)).unwrap();
+        assert!(Arc::ptr_eq(&plain, &verbatim));
         assert_eq!(cache.len(), 2);
     }
 

@@ -58,6 +58,57 @@ struct Inner {
     tuned: BTreeMap<(String, String), TunedEntry>,
 }
 
+/// Declarative persistent-store configuration — the typed form of the
+/// `QDP_CACHE` / `QDP_CACHE_DIR` / `QDP_CACHE_CLEAR` knobs. Build one
+/// programmatically and pass it to [`KernelStore::from_config`], or capture
+/// the environment once with [`StoreConfig::from_env`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreConfig {
+    /// Master switch: `false` means no persistence regardless of `dir`
+    /// (`QDP_CACHE=0`). With no `dir` the switch is moot.
+    pub disabled: bool,
+    /// Directory holding the store file; `None` disables persistence
+    /// (`QDP_CACHE_DIR=<dir>`).
+    pub dir: Option<PathBuf>,
+    /// Remove the store file before loading (`QDP_CACHE_CLEAR=1`).
+    pub clear: bool,
+}
+
+impl StoreConfig {
+    /// No persistence (the hermetic default).
+    pub fn new() -> StoreConfig {
+        StoreConfig::default()
+    }
+
+    /// Persist into `dir`.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: Some(dir.into()),
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Capture the `QDP_CACHE` / `QDP_CACHE_DIR` / `QDP_CACHE_CLEAR`
+    /// environment into a config. This is the only place those variables
+    /// are read.
+    pub fn from_env() -> StoreConfig {
+        StoreConfig {
+            disabled: matches!(
+                std::env::var("QDP_CACHE").as_deref(),
+                Ok("0") | Ok("off") | Ok("false") | Ok("no")
+            ),
+            dir: std::env::var("QDP_CACHE_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .map(PathBuf::from),
+            clear: matches!(
+                std::env::var("QDP_CACHE_CLEAR").as_deref(),
+                Ok("1") | Ok("true") | Ok("yes") | Ok("on")
+            ),
+        }
+    }
+}
+
 /// Handle on the persistent kernel store, bound to one device fingerprint.
 /// Shared (`Arc`) between a context's `KernelCache` and `AutoTuner`.
 pub struct KernelStore {
@@ -77,18 +128,23 @@ impl KernelStore {
     /// Without `QDP_CACHE_DIR` there is no persistence (per-process JIT
     /// cache only), keeping test runs hermetic by default.
     pub fn from_env(device_fp: &str, telemetry: &Arc<Telemetry>) -> Option<Arc<KernelStore>> {
-        if matches!(
-            std::env::var("QDP_CACHE").as_deref(),
-            Ok("0") | Ok("off") | Ok("false") | Ok("no")
-        ) {
+        KernelStore::from_config(&StoreConfig::from_env(), device_fp, telemetry)
+    }
+
+    /// Open the store described by a typed [`StoreConfig`] — the
+    /// environment-free construction path used by `QdpConfig`. Returns
+    /// `None` (no persistence) when disabled or no directory is set.
+    pub fn from_config(
+        cfg: &StoreConfig,
+        device_fp: &str,
+        telemetry: &Arc<Telemetry>,
+    ) -> Option<Arc<KernelStore>> {
+        if cfg.disabled {
             return None;
         }
-        let dir = std::env::var("QDP_CACHE_DIR").ok().filter(|d| !d.is_empty())?;
-        if matches!(
-            std::env::var("QDP_CACHE_CLEAR").as_deref(),
-            Ok("1") | Ok("true") | Ok("yes") | Ok("on")
-        ) {
-            let _ = std::fs::remove_file(Path::new(&dir).join(STORE_FILE));
+        let dir = cfg.dir.as_ref()?;
+        if cfg.clear {
+            let _ = std::fs::remove_file(dir.join(STORE_FILE));
         }
         Some(KernelStore::open(dir, device_fp, Arc::clone(telemetry)))
     }

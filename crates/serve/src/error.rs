@@ -1,0 +1,57 @@
+//! Structured serving errors: overload is a value, never a panic or a hang.
+
+/// Why the admission controller turned a job away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global bounded queue is full.
+    QueueFull {
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// The submitting tenant already has its maximum number of jobs
+    /// outstanding (queued + running).
+    TenantBusy {
+        /// The configured per-tenant outstanding cap.
+        cap: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { cap } => write!(f, "queue full (cap {cap})"),
+            RejectReason::TenantBusy { cap } => {
+                write!(f, "tenant at outstanding cap ({cap})")
+            }
+            RejectReason::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// Serving-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control turned the job away (backpressure). Retry later.
+    Rejected(RejectReason),
+    /// No tenant with that id is registered.
+    UnknownTenant(usize),
+    /// The job body failed inside the runtime.
+    Job(String),
+    /// The server dropped the job's reply channel (shutdown race).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "rejected: {r}"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::Job(e) => write!(f, "job failed: {e}"),
+            ServeError::Disconnected => write!(f, "server dropped the job"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,192 @@
+//! Serving over the in-tree channel mesh: rank 0 runs the [`Server`],
+//! ranks 1..N are tenant clients speaking the [`crate::wire`] codec.
+//!
+//! Each client pipelines up to `burst` requests before blocking on a
+//! response; the server's per-peer loop replies strictly in request order,
+//! releasing one response per further request once the pipeline is full
+//! (the classic credit-based flow control, matched to the client's window,
+//! so neither side can deadlock). Admission rejections travel back as
+//! ordinary in-order responses — an overloaded server degrades into
+//! structured `Rejected` answers, never into a hang.
+
+use crate::job::{JobSpec, TenantSpec};
+use crate::server::{ServeConfig, Server, ServerStats};
+use crate::wire::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+use crate::{JobTicket, ServeError};
+use qdp_comm::{try_run_cluster, LinkModel, RankHandle};
+use std::collections::VecDeque;
+
+/// What each client rank does.
+#[derive(Clone, Copy)]
+pub struct ClientPlan {
+    /// Jobs submitted per tenant.
+    pub jobs: usize,
+    /// Pipeline window: requests in flight before blocking on a response.
+    pub burst: usize,
+    /// Job chosen for tenant `t`'s `j`-th request.
+    pub job_for: fn(t: usize, j: usize) -> JobSpec,
+}
+
+/// A client rank's tally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Jobs answered `Ok`.
+    pub ok: u64,
+    /// Jobs answered `Rejected` (backpressure).
+    pub rejected: u64,
+    /// Jobs answered with a runtime error.
+    pub failed: u64,
+}
+
+/// Per-rank outcome of a mesh serving run.
+#[derive(Debug, Clone)]
+pub enum MeshOutcome {
+    /// Rank 0: final server statistics.
+    Server(ServerStats),
+    /// Rank 1..N: that client's tally.
+    Client(ClientReport),
+    /// The rank died on a communication error (peer loss, deadline,
+    /// injected fault) — structured, never a harness-level panic.
+    Failed(String),
+}
+
+/// Run a full serving session over the channel mesh: one server rank plus
+/// one client rank per tenant in `tenants`. Returns outcomes in rank order
+/// (`result[0]` is the server's). The per-message deadline and any
+/// fault-injection plan come from `cfg.qdp` ([`qdp_core::QdpConfig`]), not
+/// from the environment.
+pub fn serve_over_mesh(
+    cfg: &ServeConfig,
+    tenants: &[TenantSpec],
+    plan: &ClientPlan,
+) -> Vec<MeshOutcome> {
+    let n_ranks = tenants.len() + 1;
+    let fault_plan = cfg.qdp.fault_plan();
+    try_run_cluster(n_ranks, LinkModel::infiniband_qdr(), fault_plan, |h| {
+        Ok(if h.rank == 0 {
+            MeshOutcome::Server(run_server_rank(&h, cfg, tenants, plan))
+        } else {
+            MeshOutcome::Client(run_client_rank(&h, h.rank - 1, plan))
+        })
+    })
+    .into_iter()
+    .map(|r| r.unwrap_or_else(|e| MeshOutcome::Failed(e.to_string())))
+    .collect()
+}
+
+fn run_server_rank(
+    h: &RankHandle,
+    cfg: &ServeConfig,
+    tenants: &[TenantSpec],
+    plan: &ClientPlan,
+) -> ServerStats {
+    let server = Server::start(cfg, tenants);
+    std::thread::scope(|s| {
+        for peer in 1..h.n_ranks {
+            let h = h.clone();
+            let server = &server;
+            s.spawn(move || serve_peer(&h, server, peer, plan.burst));
+        }
+    });
+    server.drain();
+    let stats = server.stats();
+    server.shutdown();
+    stats
+}
+
+enum Pending {
+    Ready(Response),
+    Ticket(JobTicket),
+}
+
+fn resolve(p: Pending) -> Response {
+    match p {
+        Pending::Ready(r) => r,
+        Pending::Ticket(t) => match t.wait() {
+            Ok(r) => Response::Ok(r),
+            Err(e) => Response::Err(e),
+        },
+    }
+}
+
+fn serve_peer(h: &RankHandle, server: &Server, peer: usize, burst: usize) {
+    let tenant = peer - 1;
+    let mut now = 0.0;
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    loop {
+        let (bytes, arrival) = match h.recv(peer, now) {
+            Ok(m) => m,
+            // a vanished client releases the loop instead of wedging it
+            Err(_) => break,
+        };
+        now = arrival;
+        match decode_request(&bytes) {
+            Ok(Request::Bye) => break,
+            Ok(Request::Job(spec)) => {
+                pending.push_back(match server.submit(tenant, spec) {
+                    Ok(ticket) => Pending::Ticket(ticket),
+                    Err(e) => Pending::Ready(Response::Err(e)),
+                });
+                // credit-based flow control: one reply per request beyond
+                // the client's window, strictly in request order
+                if pending.len() >= burst.max(1) {
+                    let resp = resolve(pending.pop_front().expect("non-empty"));
+                    match h.send(peer, encode_response(&resp), now) {
+                        Ok(t) => now = t,
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e) => {
+                pending.push_back(Pending::Ready(Response::Err(ServeError::Job(
+                    e.to_string(),
+                ))));
+            }
+        }
+    }
+    // drain the tail in order
+    while let Some(p) = pending.pop_front() {
+        let resp = resolve(p);
+        match h.send(peer, encode_response(&resp), now) {
+            Ok(t) => now = t,
+            Err(_) => return,
+        }
+    }
+}
+
+fn run_client_rank(h: &RankHandle, tenant: usize, plan: &ClientPlan) -> ClientReport {
+    let mut report = ClientReport::default();
+    let mut now = 0.0;
+    let mut outstanding = 0usize;
+    let tally = |resp: Response, report: &mut ClientReport| match resp {
+        Response::Ok(_) => report.ok += 1,
+        Response::Err(ServeError::Rejected(_)) => report.rejected += 1,
+        Response::Err(_) => report.failed += 1,
+    };
+    for j in 0..plan.jobs {
+        let spec = (plan.job_for)(tenant, j);
+        now = h
+            .send(0, encode_request(&Request::Job(spec)), now)
+            .expect("server rank alive");
+        outstanding += 1;
+        if outstanding >= plan.burst.max(1) {
+            let (bytes, arrival) = h.recv(0, now).expect("server must answer in order");
+            now = arrival;
+            outstanding -= 1;
+            tally(decode_response(&bytes).expect("valid frame"), &mut report);
+        }
+    }
+    // the server flushes the remaining window after Bye
+    now = h
+        .send(0, encode_request(&Request::Bye), now)
+        .expect("server rank alive");
+    while outstanding > 0 {
+        let (bytes, arrival) = h.recv(0, now).expect("server must flush the tail");
+        now = arrival;
+        outstanding -= 1;
+        tally(decode_response(&bytes).expect("valid frame"), &mut report);
+    }
+    report
+}

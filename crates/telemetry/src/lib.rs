@@ -289,6 +289,77 @@ struct Inner {
     sim_thread_names: Vec<(Track, u32, String)>,
 }
 
+/// Declarative telemetry configuration — the typed form of the
+/// `QDP_PROFILE` / `QDP_ROOFLINE` / `QDP_TRACE` / `QDP_FLIGHT*` knobs.
+/// Build one programmatically (no environment involved) and pass it to
+/// [`Telemetry::with_config`], or capture the environment once with
+/// [`TelemetryConfig::from_env`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Record counters, histograms, spans and per-kernel profiles
+    /// (`QDP_PROFILE=1`).
+    pub profile: bool,
+    /// Roofline analysis — implies `profile` (`QDP_ROOFLINE=1`).
+    pub roofline: bool,
+    /// Write a Chrome trace to this path on flush (`QDP_TRACE=<path>`).
+    pub trace_path: Option<PathBuf>,
+    /// Keep the always-on flight recorder (`QDP_FLIGHT=0` turns it off).
+    pub flight: bool,
+    /// Flight-ring capacity override (`QDP_FLIGHT_CAP=<n>`).
+    pub flight_cap: Option<usize>,
+    /// Where crash dumps land (`QDP_FLIGHT_DIR=<dir>`).
+    pub flight_dir: Option<PathBuf>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            profile: false,
+            roofline: false,
+            trace_path: None,
+            flight: true,
+            flight_cap: None,
+            flight_dir: None,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off except the flight recorder — the same state
+    /// [`Telemetry::new`] starts in.
+    pub fn new() -> TelemetryConfig {
+        TelemetryConfig::default()
+    }
+
+    /// Capture the `QDP_PROFILE` / `QDP_ROOFLINE` / `QDP_TRACE` /
+    /// `QDP_FLIGHT` / `QDP_FLIGHT_CAP` / `QDP_FLIGHT_DIR` environment
+    /// into a config. This is the only place those variables are read.
+    pub fn from_env() -> TelemetryConfig {
+        fn truthy(v: Result<String, std::env::VarError>) -> bool {
+            matches!(v.as_deref(), Ok("1") | Ok("true") | Ok("yes") | Ok("on"))
+        }
+        TelemetryConfig {
+            profile: truthy(std::env::var("QDP_PROFILE")),
+            roofline: truthy(std::env::var("QDP_ROOFLINE")),
+            trace_path: std::env::var("QDP_TRACE")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(PathBuf::from),
+            flight: !matches!(
+                std::env::var("QDP_FLIGHT").as_deref(),
+                Ok("0") | Ok("false") | Ok("no") | Ok("off")
+            ),
+            flight_cap: std::env::var("QDP_FLIGHT_CAP")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok()),
+            flight_dir: std::env::var("QDP_FLIGHT_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .map(PathBuf::from),
+        }
+    }
+}
+
 /// The telemetry registry. One instance is shared by a `QdpContext` and
 /// everything beneath it (device, software cache, kernel cache, tuner);
 /// standalone devices create their own from the environment.
@@ -328,44 +399,34 @@ impl Telemetry {
         }
     }
 
-    /// Registry configured from the environment: `QDP_PROFILE=1` enables
-    /// profiling, `QDP_TRACE=<path>` enables trace recording (written to
-    /// `<path>` on [`Telemetry::flush_trace`] or drop), `QDP_ROOFLINE=1`
-    /// enables profiling plus the roofline report section, `QDP_FLIGHT=0`
-    /// disables the flight recorder, `QDP_FLIGHT_CAP=<n>` resizes its ring
-    /// and `QDP_FLIGHT_DIR=<dir>` redirects its crash dumps.
+    /// Registry configured from the environment — shorthand for
+    /// `Telemetry::with_config(&TelemetryConfig::from_env())`. See
+    /// [`TelemetryConfig::from_env`] for the variables consulted.
     pub fn from_env() -> Telemetry {
-        fn truthy(v: Result<String, std::env::VarError>) -> bool {
-            matches!(v.as_deref(), Ok("1") | Ok("true") | Ok("yes") | Ok("on"))
-        }
+        Telemetry::with_config(&TelemetryConfig::from_env())
+    }
+
+    /// Registry configured from a typed [`TelemetryConfig`] — the
+    /// environment-free construction path used by `QdpConfig`.
+    pub fn with_config(cfg: &TelemetryConfig) -> Telemetry {
         let t = Telemetry::new();
-        if truthy(std::env::var("QDP_PROFILE")) {
+        if cfg.profile {
             t.enable();
         }
-        if truthy(std::env::var("QDP_ROOFLINE")) {
+        if cfg.roofline {
             t.enable_roofline();
         }
-        if let Ok(path) = std::env::var("QDP_TRACE") {
-            if !path.is_empty() {
-                t.enable_trace(path);
-            }
+        if let Some(path) = &cfg.trace_path {
+            t.enable_trace(path.clone());
         }
-        if matches!(
-            std::env::var("QDP_FLIGHT").as_deref(),
-            Ok("0") | Ok("false") | Ok("no") | Ok("off")
-        ) {
+        if !cfg.flight {
             t.flight_on.store(false, Ordering::Relaxed);
         }
-        if let Some(cap) = std::env::var("QDP_FLIGHT_CAP")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
+        if let Some(cap) = cfg.flight_cap {
             t.flight.lock().cap = cap.max(1);
         }
-        if let Ok(dir) = std::env::var("QDP_FLIGHT_DIR") {
-            if !dir.is_empty() {
-                t.set_flight_dir(dir);
-            }
+        if let Some(dir) = &cfg.flight_dir {
+            t.set_flight_dir(dir.clone());
         }
         t
     }
@@ -1237,7 +1298,7 @@ mod tests {
         t.record_launch("k", 128, false, true, 0.0, 1e-3, 4096, 128, 1);
         t.record_sim_event(Track::Comm, "comm", "send", 0.0, 1e-6, &[("bytes", 9.0)]);
         {
-            let _s = t.span("eval", "eval_expr");
+            let _s = t.span("eval", "eval");
         }
         let flushed = t.flush_trace().expect("trace written");
         assert_eq!(flushed, path);

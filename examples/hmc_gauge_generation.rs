@@ -10,7 +10,12 @@ use qdp_jit_rs::prelude::*;
 use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ctx = QdpContext::k20x(Geometry::symmetric(4));
+    // Builder construction; `QdpConfig::from_env()` honours the QDP_*
+    // knobs documented at the bottom of this example.
+    let ctx = QdpContext::builder(Geometry::symmetric(4))
+        .device(DeviceConfig::k20x_ecc_off())
+        .config(QdpConfig::from_env())
+        .build();
     let mut rng = StdRng::seed_from_u64(2026);
 
     let g = GaugeField::warm(&ctx, &mut rng, 0.35);

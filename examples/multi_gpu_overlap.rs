@@ -24,11 +24,10 @@ fn main() {
             move |handle| {
                 let decomp = Decomposition::new(global, [1, 1, 1, 2]);
                 let rank = handle.rank;
-                let ctx = QdpContext::new(
-                    DeviceConfig::k20m_ecc_on(),
-                    decomp.local_geometry(),
-                    LayoutKind::SoA,
-                );
+                let ctx = QdpContext::builder(decomp.local_geometry())
+                    .device(DeviceConfig::k20m_ecc_on())
+                    .layout(LayoutKind::SoA)
+                    .build();
                 let mr = MultiRank::new(Arc::clone(&ctx), decomp.clone(), handle, true, overlap);
                 // deterministic global fields: both ranks agree at the seams
                 let u = LatticeColorMatrix::<f64>::from_fn(&ctx, |s| {

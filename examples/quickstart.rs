@@ -13,8 +13,11 @@ use qdp_types::{PScalar, PVector};
 use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A 8^4 lattice on a simulated Tesla K20x (the paper's device).
-    let ctx = QdpContext::k20x(Geometry::symmetric(8));
+    // A 8^4 lattice on a simulated Tesla K20x (the paper's device) —
+    // contexts are assembled through the one builder entry point.
+    let ctx = QdpContext::builder(Geometry::symmetric(8))
+        .device(DeviceConfig::k20x_ecc_off())
+        .build();
     let mut rng = StdRng::seed_from_u64(42);
 
     // Table I types: a gauge link field and two fermions.

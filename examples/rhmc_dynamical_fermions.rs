@@ -13,7 +13,9 @@ use qdp_jit_rs::prelude::*;
 use qdp_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ctx = QdpContext::k20x(Geometry::symmetric(4));
+    let ctx = QdpContext::builder(Geometry::symmetric(4))
+        .device(DeviceConfig::k20x_ecc_off())
+        .build();
     let mut rng = StdRng::seed_from_u64(11);
     let g = GaugeField::warm(&ctx, &mut rng, 0.15);
 

@@ -14,6 +14,7 @@ pub use qdp_gpu_sim as gpu;
 pub use qdp_jit as jit;
 pub use qdp_layout as layout;
 pub use qdp_ptx as ptx;
+pub use qdp_serve as serve;
 pub use qdp_telemetry as telemetry;
 pub use qdp_types as types;
 pub use quda_sim as quda;
